@@ -1,0 +1,98 @@
+// Ablation: AP policy knobs (§5.2) — fairness model, prune timeout, and
+// mobile-favoring scheduling — measured on the Fig 5-1 departure scenario
+// and on a two-client mobile/static association window.
+#include <cstdio>
+#include <iostream>
+
+#include "ap/access_point.h"
+#include "util/table.h"
+
+using namespace sh;
+
+namespace {
+
+ap::LinkModel good_link() {
+  return [](Time, mac::RateIndex) { return 0.97; };
+}
+
+/// Remaining client's worst per-second throughput after the departure.
+double departure_collapse(ap::AccessPointSim::Params params) {
+  ap::AccessPointSim sim(params, 61);
+  sim.add_client(ap::ClientConfig{1, good_link(), true});
+  sim.add_client(ap::ClientConfig{
+      2, [](Time t, mac::RateIndex) { return t < 20 * kSecond ? 0.97 : 0.0; },
+      true});
+  if (params.hint_aware_pruning) sim.schedule_hint(19 * kSecond, 2, true);
+  sim.run_until(45 * kSecond);
+  const auto series = sim.stats(1).meter.series(45 * kSecond);
+  double worst = 1e9;
+  for (std::size_t s = 21; s < 30; ++s) worst = std::min(worst, series[s].mbps);
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: AP policies (Fig 5-1 departure scenario) ===\n\n");
+
+  std::printf("Prune timeout sweep (frame fairness, hint-oblivious):\n");
+  util::Table prune_table(
+      {"prune timeout (s)", "remaining client worst Mbps"});
+  for (const int timeout_s : {2, 5, 10, 20}) {
+    ap::AccessPointSim::Params params;
+    params.prune_timeout = timeout_s * kSecond;
+    prune_table.add_row({std::to_string(timeout_s),
+                         util::fmt(departure_collapse(params), 2)});
+  }
+  prune_table.print(std::cout);
+
+  std::printf("\nPolicy matrix during the outage window:\n");
+  util::Table policy_table({"fairness", "pruning", "remaining client worst Mbps"});
+  for (const bool time_fair : {false, true}) {
+    for (const bool hint_aware : {false, true}) {
+      ap::AccessPointSim::Params params;
+      params.fairness = time_fair ? ap::AccessPointSim::Fairness::kTime
+                                  : ap::AccessPointSim::Fairness::kFrame;
+      params.hint_aware_pruning = hint_aware;
+      policy_table.add_row({time_fair ? "time" : "frame",
+                            hint_aware ? "hint-aware" : "timeout",
+                            util::fmt(departure_collapse(params), 2)});
+    }
+  }
+  policy_table.print(std::cout);
+  std::printf(
+      "\nExpected (paper §5.2.3): frame fairness + timeout pruning collapses "
+      "the survivor; time fairness halves the damage ('even time-based "
+      "fairness only restores ~50%%'); hint-aware pruning removes it under "
+      "either fairness model.\n");
+
+  std::printf("\nMobile-favoring scheduling (§5.2.2), 20 s association window:\n");
+  util::Table favor_table(
+      {"favor mobile", "static client MB", "mobile client MB", "total MB"});
+  for (const bool favor : {false, true}) {
+    ap::AccessPointSim::Params params;
+    params.fairness = ap::AccessPointSim::Fairness::kTime;
+    params.favor_mobile_clients = favor;
+    ap::AccessPointSim sim(params, 63);
+    sim.add_client(ap::ClientConfig{1, good_link(), true});  // static, patient
+    sim.add_client(ap::ClientConfig{
+        2, [](Time t, mac::RateIndex) { return t < 20 * kSecond ? 0.97 : 0.0; },
+        true});  // mobile: associated for only 20 s
+    sim.schedule_hint(0, 2, true);
+    if (params.hint_aware_pruning || true) sim.schedule_hint(20 * kSecond, 2, true);
+    sim.run_until(60 * kSecond);
+    const double static_mb =
+        static_cast<double>(sim.stats(1).meter.total_bytes()) / 1e6;
+    const double mobile_mb =
+        static_cast<double>(sim.stats(2).meter.total_bytes()) / 1e6;
+    favor_table.add_row({favor ? "yes" : "no", util::fmt(static_mb, 1),
+                         util::fmt(mobile_mb, 1),
+                         util::fmt(static_mb + mobile_mb, 1)});
+  }
+  favor_table.print(std::cout);
+  std::printf(
+      "\nExpected: favoring the briefly-present mobile client raises its "
+      "total without reducing the patient static client's 60 s total much — "
+      "aggregate delivered bytes increase (§5.2.2's argument).\n");
+  return 0;
+}

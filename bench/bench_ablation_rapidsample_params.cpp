@@ -1,0 +1,67 @@
+// Ablation: RapidSample's two constants. The paper sets delta_fail to the
+// measured mobile coherence time (~10 ms) and delta_success below it (5 ms),
+// noting "we experimented with different values of delta_success ... and
+// found little difference". This bench sweeps both over mobile traces.
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.h"
+
+using namespace sh;
+using namespace sh::bench;
+
+int main() {
+  std::printf(
+      "=== Ablation: RapidSample delta_success / delta_fail (mobile TCP, "
+      "office) ===\n\n");
+
+  // Pre-generate the trace batch once.
+  std::vector<channel::PacketFateTrace> traces;
+  for (int i = 0; i < 10; ++i) {
+    channel::TraceGeneratorConfig cfg;
+    cfg.env = channel::Environment::kOffice;
+    cfg.scenario = sim::MobilityScenario::all_walking(20 * kSecond);
+    cfg.seed = 90'000 + static_cast<std::uint64_t>(i) * 17;
+    cfg.snr_offset_db = placement_offset_db(i);
+    traces.push_back(channel::generate_trace(cfg));
+  }
+
+  auto mean_mbps = [&](Duration delta_success, Duration delta_fail) {
+    util::RunningStats stats;
+    for (const auto& trace : traces) {
+      rate::RapidSample::Params params;
+      params.delta_success = delta_success;
+      params.delta_fail = delta_fail;
+      rate::RapidSample adapter(params);
+      rate::RunConfig run;
+      run.workload = rate::Workload::kTcp;
+      stats.add(rate::run_trace(adapter, trace, run).throughput_mbps);
+    }
+    return stats.mean();
+  };
+
+  std::printf("delta_fail sweep (delta_success = 5 ms):\n");
+  util::Table fail_table({"delta_fail (ms)", "throughput (Mbps)"});
+  for (const int ms : {2, 5, 10, 20, 40, 80}) {
+    fail_table.add_row({std::to_string(ms),
+                        util::fmt(mean_mbps(5 * kMillisecond,
+                                            ms * kMillisecond), 2)});
+  }
+  fail_table.print(std::cout);
+
+  std::printf("\ndelta_success sweep (delta_fail = 10 ms):\n");
+  util::Table succ_table({"delta_success (ms)", "throughput (Mbps)"});
+  for (const int ms : {1, 2, 5, 8, 15, 30}) {
+    succ_table.add_row({std::to_string(ms),
+                        util::fmt(mean_mbps(ms * kMillisecond,
+                                            10 * kMillisecond), 2)});
+  }
+  succ_table.print(std::cout);
+
+  std::printf(
+      "\nExpected: a broad plateau around the paper's (5 ms, 10 ms); "
+      "delta_fail well below the coherence time re-samples doomed rates, "
+      "well above it misses recovery windows; delta_success matters little "
+      "(the paper's observation).\n");
+  return 0;
+}

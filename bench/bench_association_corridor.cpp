@@ -1,0 +1,68 @@
+// Adaptive association (§5.2.1): a client walks a corridor of APs; compare
+// the legacy strongest-signal policy against the hint-aware policy whose
+// lifetime scorer is trained online from completed associations.
+#include <cstdio>
+#include <iostream>
+
+#include "ap/association_sim.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace sh;
+
+int main() {
+  std::printf(
+      "=== Adaptive association: corridor walk, strongest-RSSI vs hint-aware "
+      "===\n(8 APs, 45 m apart; 1.4 m/s; online-trained lifetime scorer; "
+      "handoffs cost 1.5 s)\n\n");
+
+  // Train the scorer over several walks (the paper: APs "learn, over time,
+  // the hint values correlated with the longest associations").
+  ap::AssociationScorer scorer;
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    ap::CorridorConfig config;
+    config.seed = seed;
+    ap::run_corridor(ap::AssociationPolicy::kHintAware, scorer, config);
+  }
+
+  util::Table table({"policy", "mean lifetime (s)", "median (s)", "handoffs",
+                     "connected %"});
+  double rssi_life = 0.0, hint_life = 0.0;
+  for (const auto policy : {ap::AssociationPolicy::kStrongestRssi,
+                            ap::AssociationPolicy::kHintAware}) {
+    util::RunningStats life, median, handoffs, connected;
+    for (std::uint64_t seed = 200; seed < 208; ++seed) {
+      ap::CorridorConfig config;
+      config.seed = seed;
+      ap::AssociationScorer throwaway;
+      auto& use_scorer =
+          policy == ap::AssociationPolicy::kHintAware ? scorer : throwaway;
+      const auto result = ap::run_corridor(policy, use_scorer, config);
+      life.add(result.mean_lifetime_s);
+      median.add(result.median_lifetime_s);
+      handoffs.add(static_cast<double>(result.handoffs));
+      connected.add(result.connected_fraction);
+    }
+    table.add_row({policy == ap::AssociationPolicy::kHintAware
+                       ? "hint-aware (trained)"
+                       : "strongest RSSI",
+                   util::fmt(life.mean(), 1), util::fmt(median.mean(), 1),
+                   util::fmt(handoffs.mean(), 0),
+                   util::fmt(100.0 * connected.mean(), 1)});
+    if (policy == ap::AssociationPolicy::kHintAware) {
+      hint_life = life.mean();
+    } else {
+      rssi_life = life.mean();
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nHint-aware / strongest-RSSI mean lifetime: %.2fx\n",
+              hint_life / rssi_life);
+  std::printf(
+      "\nPaper (§5.2.1, qualitative): heading-aware association picks the AP "
+      "the client is walking toward, yielding longer associations and fewer "
+      "disruptive handoffs than signal strength alone. A one-dimensional "
+      "corridor bounds the gain (every policy must hand off about once per "
+      "AP); the hint policy wins on all three axes without losing any.\n");
+  return 0;
+}

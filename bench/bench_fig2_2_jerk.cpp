@@ -1,0 +1,88 @@
+// Figure 2-2: jerk value over time for a stationary -> moving -> stationary
+// experiment. The paper's observation: the jerk never exceeds the threshold
+// (3) while stationary and frequently exceeds it — by a lot — while moving.
+//
+// Prints a down-sampled jerk series plus per-phase summary statistics and
+// the detector's transition times.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "sensors/accelerometer.h"
+#include "sensors/movement_detector.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace sh;
+
+int main() {
+  std::printf("=== Figure 2-2: jerk over time (stationary / moving / stationary) ===\n\n");
+
+  // 80,000 reports at 2 ms = 160 s, movement in the middle third, matching
+  // the x-extent of the paper's plot.
+  const sim::MobilityScenario scenario{{
+      {53 * kSecond, sim::MotionState::kStatic, 0.0},
+      {53 * kSecond, sim::MotionState::kWalking, 1.4},
+      {54 * kSecond, sim::MotionState::kStatic, 0.0},
+  }};
+  sensors::AccelerometerSim accel(scenario, util::Rng(22));
+  sensors::MovementDetector detector;
+
+  util::RunningStats phase_jerk[3];
+  double phase_max[3] = {0.0, 0.0, 0.0};
+  int exceed_count[3] = {0, 0, 0};
+  std::vector<std::pair<double, bool>> transitions;  // (time s, new state)
+  bool last_hint = false;
+
+  util::Table series({"time_s", "jerk", "hint"});
+  const int total_reports = 80'000;
+  for (int i = 0; i < total_reports; ++i) {
+    const auto report = accel.next();
+    const bool hint = detector.update(report);
+    const double jerk = detector.last_jerk();
+    const double t_s = to_seconds(report.timestamp);
+    // Windows straddling a phase boundary mix still and moving samples
+    // (they see the physical deceleration); attribute a 0.2 s margin around
+    // each boundary to the moving phase, as the paper's phases are defined
+    // by when the device is actually at rest.
+    const bool near_boundary = std::fabs(t_s - 53.0) < 0.2 ||
+                               std::fabs(t_s - 106.0) < 0.2;
+    const int phase =
+        near_boundary ? 1 : (t_s < 53.0 ? 0 : (t_s < 106.0 ? 1 : 2));
+    phase_jerk[phase].add(jerk);
+    phase_max[phase] = std::max(phase_max[phase], jerk);
+    if (jerk > detector.params().jerk_threshold) ++exceed_count[phase];
+    if (hint != last_hint) {
+      transitions.emplace_back(t_s, hint);
+      last_hint = hint;
+    }
+    if (i % 2000 == 0) {  // down-sample the plot to one point per 4 s
+      series.add_row({util::fmt(t_s, 1), util::fmt(jerk, 3), hint ? "1" : "0"});
+    }
+  }
+
+  series.print(std::cout);
+
+  std::printf("\nPer-phase jerk statistics (threshold = %.1f):\n",
+              detector.params().jerk_threshold);
+  util::Table summary(
+      {"phase", "mean jerk", "max jerk", "reports > threshold"});
+  const char* names[3] = {"stationary (0-53 s)", "moving (53-106 s)",
+                          "stationary (106-160 s)"};
+  for (int p = 0; p < 3; ++p) {
+    summary.add_row({names[p], util::fmt(phase_jerk[p].mean(), 3),
+                     util::fmt(phase_max[p], 2),
+                     std::to_string(exceed_count[p])});
+  }
+  summary.print(std::cout);
+
+  std::printf("\nDetector transitions:\n");
+  for (const auto& [when, state] : transitions) {
+    std::printf("  t = %7.2f s -> %s\n", when, state ? "MOVING" : "still");
+  }
+  std::printf(
+      "\nPaper's claim: jerk < threshold throughout both stationary phases,\n"
+      "frequent large excursions while moving, transitions detected within\n"
+      "100 ms of the actual motion change.\n");
+  return 0;
+}

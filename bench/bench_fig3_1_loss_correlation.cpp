@@ -1,0 +1,70 @@
+// Figure 3-1: conditional probability of losing packet i+k given packet i
+// was lost, at 54 Mbit/s with back-to-back packets (5000/s), static vs
+// mobile. The paper's shape: mobile conditional loss far above the
+// unconditional baseline for k < 10, decaying back by k ~ 50 (the ~10 ms
+// channel coherence time); static conditional ~= unconditional at all lags.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "channel/trace_generator.h"
+#include "channel/trace_stats.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace sh;
+
+namespace {
+
+// 5000 packets/s back to back at 54M, as in the paper's experiment.
+constexpr Duration kPacketSpacing = 200;  // 0.2 ms
+constexpr Duration kTraceLength = 30 * kSecond;
+constexpr int kMaxLag = 100;
+
+channel::LossCorrelation measure(bool mobile) {
+  // One experiment per case, like the paper's figure (averaging across
+  // frozen placements would mix loss rates and fake long-range
+  // correlation). +7 dB offset: a strong-but-not-perfect 54M link; the
+  // static device is bolted down, so its shadowing clock is frozen too.
+  const auto scenario = mobile
+                            ? sim::MobilityScenario::all_walking(kTraceLength)
+                            : sim::MobilityScenario::all_static(kTraceLength);
+  channel::ChannelRealization ch(channel::Environment::kOffice, scenario, 99,
+                                 {}, 7.0, 1.0, {0.005, 1.0, 0.9});
+  util::Rng rng(599);
+  std::vector<bool> fates;
+  fates.reserve(static_cast<std::size_t>(kTraceLength / kPacketSpacing));
+  for (Time t = 0; t < kTraceLength; t += kPacketSpacing) {
+    fates.push_back(ch.sample_delivery(t, mac::fastest_rate(), rng));
+  }
+  return channel::loss_correlation(fates, kMaxLag);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3-1: conditional loss probability vs lag k (54M) ===\n");
+  std::printf("(back-to-back packets at 5000/s, 30 s per case)\n\n");
+
+  const auto stat = measure(false);
+  const auto mob = measure(true);
+
+  util::Table table({"k", "cond loss (static)", "cond loss (mobile)"});
+  for (const int k : {1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100}) {
+    table.add_row({std::to_string(k),
+                   util::fmt(stat.conditional_loss[static_cast<std::size_t>(k - 1)], 3),
+                   util::fmt(mob.conditional_loss[static_cast<std::size_t>(k - 1)], 3)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nUnconditional loss: static = %.3f, mobile = %.3f\n",
+              stat.unconditional_loss, mob.unconditional_loss);
+  const double k1 = mob.conditional_loss[0];
+  const double k50 = mob.conditional_loss[49];
+  std::printf(
+      "\nShape check (paper): mobile k=1 conditional (%.2f) >> unconditional "
+      "(%.2f);\ndecays toward baseline by k ~ 50 (%.2f; 50 packets = 10 ms "
+      "-> coherence time ~8-10 ms);\nstatic curve flat at its baseline.\n",
+      k1, mob.unconditional_loss, k50);
+  return 0;
+}

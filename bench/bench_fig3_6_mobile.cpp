@@ -1,0 +1,53 @@
+// Figure 3-6: mobile-only throughput (TCP), per environment, normalized to
+// RapidSample. Paper: RapidSample wins everywhere — up to 75% over
+// SampleRate and up to 25% over the other protocols.
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.h"
+
+using namespace sh;
+using namespace sh::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 3-6: mobile throughput (TCP), normalized to RapidSample "
+      "===\n(%d x 20 s walking traces per environment)\n\n",
+      kTracesPerPoint);
+
+  util::Table table({"environment", "RapidSample", "SampleRate", "RRAA",
+                     "RBAR", "CHARM", "RapidSample Mbps"});
+  for (const auto env : walking_environments()) {
+    ProtocolMeans means;
+    for (int i = 0; i < kTracesPerPoint; ++i) {
+      channel::TraceGeneratorConfig cfg;
+      cfg.env = env;
+      cfg.scenario = sim::MobilityScenario::all_walking(20 * kSecond);
+      cfg.seed = 20'000 + static_cast<std::uint64_t>(i) * 17;
+      cfg.snr_offset_db = placement_offset_db(i);
+      const auto trace = channel::generate_trace(cfg);
+      rate::RunConfig run;
+      run.workload = rate::Workload::kTcp;
+      run_all_protocols(trace, run, means);
+    }
+    const double base = means.rapid.mean();
+    table.add_row({std::string(channel::environment_name(env)),
+                   util::fmt(1.0, 2), util::fmt(means.sample.mean() / base, 2),
+                   util::fmt(means.rraa.mean() / base, 2),
+                   util::fmt(means.rbar.mean() / base, 2),
+                   util::fmt(means.charm.mean() / base, 2),
+                   util::fmt_pm(base, means.rapid.ci95_halfwidth(), 2)});
+    std::printf("%s: RapidSample vs SampleRate %+.0f%%, vs best-other %+.0f%%\n",
+                std::string(channel::environment_name(env)).c_str(),
+                100.0 * (base / means.sample.mean() - 1.0),
+                100.0 * (base / std::max({means.rraa.mean(), means.rbar.mean(),
+                                          means.charm.mean()}) - 1.0));
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf(
+      "\nPaper: RapidSample best in every environment while mobile; up to "
+      "+75%% over SampleRate, up to +25%% over the rest. RBAR slightly "
+      "above CHARM (instantaneous SNR beats stale averages).\n");
+  return 0;
+}

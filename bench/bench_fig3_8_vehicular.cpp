@@ -1,0 +1,71 @@
+// Figure 3-8: vehicular throughput (UDP; the paper notes TCP times out under
+// the high vehicular loss rate), normalized to RapidSample. The receiver
+// rides in a car shuttling past a roadside sender at 8-72 km/h.
+//
+// Paper: RapidSample +28% over SampleRate, +36% over RRAA, ~2x over the
+// SNR-based protocols.
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.h"
+
+using namespace sh;
+using namespace sh::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 3-8: vehicular throughput (UDP), normalized to RapidSample "
+      "===\n(10 x 10 s drive-by traces, speeds 8-72 km/h)\n\n");
+
+  ProtocolMeans means;
+  for (int i = 0; i < 10; ++i) {
+    channel::TraceGeneratorConfig cfg;
+    cfg.env = channel::Environment::kVehicular;
+    // Speeds spread over the paper's 8-72 km/h (2.2-20 m/s).
+    const double speed = 2.2 + 2.0 * static_cast<double>(i);
+    cfg.scenario = sim::MobilityScenario::all_vehicle(10 * kSecond, speed);
+    cfg.seed = 40'000 + static_cast<std::uint64_t>(i) * 17;
+    cfg.snr_offset_db = placement_offset_db(i);
+    // Phase the drive-by so the closest approach falls mid-trace at every
+    // speed (the paper's receiver drove back and forth past the sender).
+    cfg.geometry.start_position_m = -5.0 * speed;
+    cfg.geometry.lateral_offset_m = 30.0;
+    cfg.snr_offset_db = placement_offset_db(i) - 3.0;
+    cfg.shadow_sigma_scale = 2.0;
+    const auto trace = channel::generate_trace(cfg);
+    rate::RunConfig run;
+    run.workload = rate::Workload::kUdp;
+    // At vehicular Doppler the channel decorrelates within ~1-3 ms, so the
+    // RTS/CTS-learned SNR is at least one coherence time stale by the time
+    // the data frame flies.
+    run.snr_lag = 10 * kMillisecond;
+    // Open-road 5.8 GHz is nearly interference-free compared to the office.
+    run.iid_loss_floor = 0.005;
+    run_all_protocols(trace, run, means);
+  }
+
+  const double base = means.rapid.mean();
+  util::Table table({"protocol", "normalized", "Mbps"});
+  table.add_row({"RapidSample", util::fmt(1.0, 2),
+                 util::fmt_pm(base, means.rapid.ci95_halfwidth(), 2)});
+  table.add_row({"SampleRate", util::fmt(means.sample.mean() / base, 2),
+                 util::fmt(means.sample.mean(), 2)});
+  table.add_row({"RRAA", util::fmt(means.rraa.mean() / base, 2),
+                 util::fmt(means.rraa.mean(), 2)});
+  table.add_row({"RBAR", util::fmt(means.rbar.mean() / base, 2),
+                 util::fmt(means.rbar.mean(), 2)});
+  table.add_row({"CHARM", util::fmt(means.charm.mean() / base, 2),
+                 util::fmt(means.charm.mean(), 2)});
+  table.print(std::cout);
+
+  std::printf(
+      "\nRapidSample vs SampleRate: %+.0f%%, vs RRAA: %+.0f%%, vs RBAR: "
+      "%.1fx, vs CHARM: %.1fx\n",
+      100.0 * (base / means.sample.mean() - 1.0),
+      100.0 * (base / means.rraa.mean() - 1.0), base / means.rbar.mean(),
+      base / means.charm.mean());
+  std::printf(
+      "\nPaper: +28%% over SampleRate, +36%% over RRAA, ~2x over SNR-based "
+      "protocols.\n");
+  return 0;
+}

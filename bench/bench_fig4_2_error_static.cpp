@@ -1,0 +1,39 @@
+// Figure 4-2: average error in the delivery-probability estimate versus
+// probing rate, static case. Paper: even 1 probe every 10 seconds keeps the
+// error near 11%; 0.5 probes/s reaches ~5%.
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.h"
+#include "topo/probing_eval.h"
+
+using namespace sh;
+using namespace sh::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 4-2: estimation error vs probing rate (static) ===\n"
+      "(20 x 180 s stationary traces; 10-probe windows; error vs the dense "
+      "200/s ground truth)\n\n");
+
+  const double rates[] = {0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0};
+  util::Table table({"probes/s", "mean abs error", "stddev"});
+  for (const double rate : rates) {
+    util::RunningStats error, spread;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      const auto trace =
+          channel::generate_trace(topo_config(false, 700 + seed, 180 * kSecond));
+      const auto series = topo::ProbeSeries::from_trace(trace);
+      const auto result = topo::probing_error(series, rate);
+      error.add(result.mean_abs_error);
+      spread.add(result.stddev);
+    }
+    table.add_row({util::fmt(rate, 1), util::fmt(error.mean(), 3),
+                   util::fmt(spread.mean(), 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nPaper: ~11%% error at 0.1 probes/s, ~5%% at 0.5 probes/s — the "
+      "default 1 probe/s of many mesh stacks is overkill when static.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 4-4: delivery probability by probing rate over time, stationary
+// trace. Paper: at 1, 5 and 10 probes/s the estimate tracks the actual
+// probability closely — static links don't need fast probing.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.h"
+#include "topo/probing_eval.h"
+
+using namespace sh;
+using namespace sh::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 4-4: delivery probability by probing rate (stationary, "
+      "25 s) ===\n\n");
+
+  const auto trace =
+      channel::generate_trace(topo_config(false, 749, 25 * kSecond));
+  const auto series = topo::ProbeSeries::from_trace(trace);
+
+  const auto est1 = topo::estimate_over_schedule(
+      series, topo::fixed_probe_schedule(series.duration(), 1.0));
+  const auto est5 = topo::estimate_over_schedule(
+      series, topo::fixed_probe_schedule(series.duration(), 5.0));
+  const auto est10 = topo::estimate_over_schedule(
+      series, topo::fixed_probe_schedule(series.duration(), 10.0));
+
+  util::Table table({"time_s", "actual", "1/s", "5/s", "10/s"});
+  auto cell = [](double v) {
+    return std::isnan(v) ? std::string("-") : util::fmt(v, 2);
+  };
+  for (std::size_t i = 0; i < est1.time_s.size(); ++i) {
+    table.add_row({util::fmt(est1.time_s[i], 0), cell(est1.actual[i]),
+                   cell(est1.estimate[i]), cell(est5.estimate[i]),
+                   cell(est10.estimate[i])});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nMean |estimate - actual|: 1/s = %.3f, 5/s = %.3f, 10/s = %.3f\n"
+      "Paper: all three rates track the actual probability closely when "
+      "static.\n",
+      topo::series_error(est1), topo::series_error(est5),
+      topo::series_error(est10));
+  return 0;
+}

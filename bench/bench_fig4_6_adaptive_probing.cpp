@@ -1,0 +1,70 @@
+// Figure 4-6: the hint-aware topology maintenance protocol over a combined
+// static/mobile trace: the adaptive prober (1 probe/s static, 10 probes/s
+// while the movement hint is raised, +1 s hold after stopping) tracks the
+// actual delivery probability throughout, while the fixed 1 probe/s
+// strategy lags by multiple seconds during motion — at a fraction of the
+// always-fast probe budget.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.h"
+#include "topo/adaptive_prober.h"
+#include "topo/probing_eval.h"
+
+using namespace sh;
+using namespace sh::bench;
+
+int main() {
+  std::printf(
+      "=== Figure 4-6: adaptive vs fixed probing over a mixed trace (60 s) "
+      "===\n\n");
+
+  channel::TraceGeneratorConfig cfg = topo_config(false, 745, 0);
+  cfg.scenario = sim::MobilityScenario{{
+      {15 * kSecond, sim::MotionState::kStatic, 0.0},
+      {20 * kSecond, sim::MotionState::kWalking, 1.4},
+      {25 * kSecond, sim::MotionState::kStatic, 0.0},
+  }};
+  const auto trace = channel::generate_trace(cfg);
+  const auto series = topo::ProbeSeries::from_trace(trace);
+
+  // Hint with the end-to-end detection latency.
+  auto hint = [&series](Time t) {
+    return series.moving(series.index_at(std::max<Time>(0, t - kHintLatency)));
+  };
+  topo::AdaptiveProber prober(hint);
+
+  const auto adaptive_schedule = prober.schedule(series.duration());
+  const auto fixed_schedule =
+      topo::fixed_probe_schedule(series.duration(), 1.0);
+  const auto fast_schedule =
+      topo::fixed_probe_schedule(series.duration(), 10.0);
+
+  const auto adaptive =
+      topo::estimate_over_schedule(series, adaptive_schedule);
+  const auto fixed = topo::estimate_over_schedule(series, fixed_schedule);
+
+  util::Table table({"time_s", "actual", "adaptive", "1 probe/s", "hint"});
+  auto cell = [](double v) {
+    return std::isnan(v) ? std::string("-") : util::fmt(v, 2);
+  };
+  for (std::size_t i = 0; i < adaptive.time_s.size(); ++i) {
+    table.add_row({util::fmt(adaptive.time_s[i], 0), cell(adaptive.actual[i]),
+                   cell(adaptive.estimate[i]), cell(fixed.estimate[i]),
+                   adaptive.moving[i] ? "1" : "0"});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nMean |estimate - actual|: adaptive = %.3f, fixed 1/s = %.3f\n"
+      "Probes sent: adaptive = %zu, fixed 1/s = %zu, always-10/s = %zu\n",
+      topo::series_error(adaptive), topo::series_error(fixed),
+      adaptive_schedule.size(), fixed_schedule.size(), fast_schedule.size());
+  std::printf(
+      "\nPaper: the adaptive protocol stays accurate throughout while the "
+      "1 probe/s strategy lags by seconds during motion; on mixed workloads "
+      "the bandwidth saving vs always-fast probing is proportional to the "
+      "time spent static.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5-1: per-client TCP throughput at a commercial-style AP when one
+// of two clients walks out of range ~35 s into the run. The hint-oblivious
+// AP keeps open-loop retransmitting to the absent client at falling rates
+// under frame-level fairness, collapsing the remaining client's throughput
+// for ~10 s until the prune timeout fires. The hint-aware AP parks the
+// client the moment the movement hint + losses coincide, avoiding the
+// collapse at the cost of an occasional probe frame (§5.2.3).
+#include <cstdio>
+#include <iostream>
+
+#include "ap/access_point.h"
+#include "util/table.h"
+
+using namespace sh;
+
+namespace {
+
+void run_case(bool hint_aware, util::Table& table,
+              double* collapse_min, double* static_total) {
+  ap::AccessPointSim::Params params;
+  params.hint_aware_pruning = hint_aware;
+  ap::AccessPointSim sim(params, 51);
+  sim.add_client(ap::ClientConfig{
+      1, [](Time, mac::RateIndex) { return 0.97; }, true});
+  sim.add_client(ap::ClientConfig{
+      2, [](Time t, mac::RateIndex) { return t < 35 * kSecond ? 0.97 : 0.0; },
+      true});
+  if (hint_aware) sim.schedule_hint(34 * kSecond, 2, true);
+  sim.run_until(60 * kSecond);
+
+  const auto series1 = sim.stats(1).meter.series(60 * kSecond);
+  const auto series2 = sim.stats(2).meter.series(60 * kSecond);
+  *collapse_min = 1e9;
+  for (std::size_t s = 0; s < series1.size(); ++s) {
+    table.add_row({util::fmt(series1[s].time_s, 0),
+                   util::fmt(series1[s].mbps, 2),
+                   util::fmt(series2[s].mbps, 2)});
+    if (s >= 36 && s <= 45) *collapse_min = std::min(*collapse_min, series1[s].mbps);
+  }
+  *static_total = sim.stats(1).meter.mbps(60 * kSecond);
+
+  std::printf("  client 2 %s at t=%.1f s; parked=%s; probe frames=%llu\n",
+              sim.stats(2).pruned ? "pruned" : "not pruned",
+              sim.stats(2).pruned ? to_seconds(sim.stats(2).pruned_at) : 0.0,
+              sim.stats(2).parked ? "yes" : "no",
+              static_cast<unsigned long long>(sim.stats(2).probe_frames));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 5-1: two TCP clients; client 2 leaves range at ~35 s ===\n\n");
+
+  std::printf("--- hint-oblivious AP (frame fairness, 10 s prune timeout) ---\n");
+  util::Table oblivious({"time_s", "client1 Mbps", "client2 Mbps"});
+  double oblivious_collapse = 0.0, oblivious_total = 0.0;
+  run_case(false, oblivious, &oblivious_collapse, &oblivious_total);
+  oblivious.print(std::cout);
+
+  std::printf("\n--- hint-aware AP (adaptive disassociation) ---\n");
+  util::Table aware({"time_s", "client1 Mbps", "client2 Mbps"});
+  double aware_collapse = 0.0, aware_total = 0.0;
+  run_case(true, aware, &aware_collapse, &aware_total);
+  aware.print(std::cout);
+
+  std::printf(
+      "\nClient 1 worst post-departure throughput: hint-oblivious %.2f Mbps, "
+      "hint-aware %.2f Mbps\nClient 1 60 s average: hint-oblivious %.2f "
+      "Mbps, hint-aware %.2f Mbps\n",
+      oblivious_collapse, aware_collapse, oblivious_total, aware_total);
+  std::printf(
+      "\nPaper: the static client's throughput drops precipitously for ~10 s "
+      "after the departure (open-loop retries + frame fairness + rate "
+      "fallback), then recovers once the AP finally prunes; the hint-aware "
+      "policy avoids the collapse at low messaging cost.\n");
+  return 0;
+}

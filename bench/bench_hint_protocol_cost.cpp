@@ -1,0 +1,64 @@
+// The cost of the Hint Protocol itself (§2.3): compare the hint-aware rate
+// adaptation driven by (a) oracle hints with a fixed 150 ms lag and (b) the
+// full wire protocol — detector output riding the movement bit of delivered
+// ACKs plus standalone hint frames during traffic gaps, all subject to the
+// channel's losses. Also reports the emergent sensing-to-sender latency.
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.h"
+#include "rate/hinted_runner.h"
+
+using namespace sh;
+using namespace sh::bench;
+
+int main() {
+  std::printf(
+      "=== Hint Protocol cost: oracle hints vs wire-carried hints ===\n"
+      "(16 x 20 s mixed office traces, TCP)\n\n");
+
+  util::RunningStats oracle, wire, delay, standalone;
+  for (int i = 0; i < 16; ++i) {
+    const auto scenario = sim::MobilityScenario::static_then_walking(
+        20 * kSecond, /*mobile_first=*/i % 2 == 1);
+    channel::TraceGeneratorConfig cfg;
+    cfg.env = channel::Environment::kOffice;
+    cfg.scenario = scenario;
+    cfg.seed = 97'000 + static_cast<std::uint64_t>(i) * 17;
+    cfg.snr_offset_db = placement_offset_db(i);
+    const auto trace = channel::generate_trace(cfg);
+
+    rate::RunConfig run;
+    run.workload = rate::Workload::kTcp;
+    rate::HintAwareRateAdapter oracle_adapter(lagged_truth_query(trace),
+                                              util::Rng(42));
+    oracle.add(rate::run_trace(oracle_adapter, trace, run).throughput_mbps);
+
+    rate::HintedRunConfig hinted;
+    hinted.run = run;
+    hinted.sensor_seed = 800 + static_cast<std::uint64_t>(i);
+    const auto result =
+        rate::run_trace_with_hint_protocol(trace, scenario, hinted);
+    wire.add(result.run.throughput_mbps);
+    if (result.detector_transitions > 0) delay.add(result.mean_hint_delay_s);
+    standalone.add(static_cast<double>(result.standalone_hint_frames));
+  }
+
+  util::Table table({"hint path", "throughput (Mbps)"});
+  table.add_row({"oracle (150 ms fixed lag)",
+                 util::fmt_pm(oracle.mean(), oracle.ci95_halfwidth(), 2)});
+  table.add_row({"wire protocol (ACK bit + standalone frames)",
+                 util::fmt_pm(wire.mean(), wire.ci95_halfwidth(), 2)});
+  table.print(std::cout);
+
+  std::printf(
+      "\nWire/oracle throughput ratio: %.3f\n"
+      "Emergent sensing-to-sender latency: %.0f ms mean\n"
+      "Standalone hint frames per 20 s trace: %.1f mean\n",
+      wire.mean() / oracle.mean(), 1000.0 * delay.mean(), standalone.mean());
+  std::printf(
+      "\nThe paper's claim (§2.3): hints piggyback at essentially zero cost "
+      "and stay fresh enough; the protocol's overhead is one reserved bit "
+      "on frames already being sent plus the occasional short hint frame.\n");
+  return 0;
+}

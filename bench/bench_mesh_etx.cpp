@@ -1,0 +1,54 @@
+// The §4.2 ETX analysis, end to end: a 12-node mesh (3 carried around) in
+// which each node maintains probed link-quality estimates and ETX routes
+// are computed over them. Mis-estimated links mean routes that cost more
+// transmissions than the oracle-optimal route — the paper's worked example
+// put that overhead at ~42% for one plausible mis-ranking; here it is
+// measured across a live network for three probing strategies.
+#include <cstdio>
+#include <iostream>
+
+#include "mesh/mesh_experiment.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace sh;
+
+int main() {
+  std::printf(
+      "=== Mesh ETX routing under probing strategies (§4.2 end to end) ===\n"
+      "(12 nodes, 3 mobile; 4 static route endpoints; 120 s x 5 seeds)\n\n");
+
+  util::Table table({"strategy", "probes/node/s", "route overhead %",
+                     "wrong-route %", "missed-route %"});
+  struct Row {
+    const char* name;
+    mesh::ProbingStrategy strategy;
+  };
+  for (const Row& row :
+       {Row{"fixed 1 probe/s", mesh::ProbingStrategy::kFixedSlow},
+        Row{"fixed 10 probes/s", mesh::ProbingStrategy::kFixedFast},
+        Row{"hint-adaptive (1<->10)", mesh::ProbingStrategy::kHintAdaptive}}) {
+    util::RunningStats probes, overhead, wrong, missed;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      mesh::MeshExperimentConfig config;
+      config.net.seed = 9000 + seed * 13;
+      const auto result = mesh::run_mesh_experiment(row.strategy, config);
+      probes.add(result.probes_per_node_per_s);
+      overhead.add(100.0 * result.mean_route_overhead);
+      wrong.add(100.0 * result.wrong_route_fraction);
+      missed.add(100.0 * result.missed_route_fraction);
+    }
+    table.add_row({row.name, util::fmt(probes.mean(), 1),
+                   util::fmt(overhead.mean(), 1), util::fmt(wrong.mean(), 1),
+                   util::fmt(missed.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nExpected (paper §4.2): slow probing mis-ranks links whose quality "
+      "moves with the mobile nodes, paying real extra transmissions per "
+      "route; fast probing fixes it at ~10x the probe bill; the hint-aware "
+      "strategy keeps the accuracy while probing fast only on the links a "
+      "moving node actually touches.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Microphone hints (§5.6): a static node in a busy environment (pedestrians,
+// passing cars) experiences mobile-grade channel dynamics. The movement hint
+// stays off — only the microphone's noise-variation detector notices, and
+// switching to RapidSample on that hint recovers the mobile-mode advantage.
+#include <cstdio>
+#include <iostream>
+
+#include "experiment_config.h"
+#include "sensors/microphone.h"
+
+using namespace sh;
+using namespace sh::bench;
+
+int main() {
+  std::printf(
+      "=== Microphone environment hints (§5.6): static node, busy "
+      "surroundings ===\n(12 x 20 s traces; channel destabilized by nearby "
+      "activity, device still)\n\n");
+
+  util::RunningStats with_mic, without_mic, rapid_only, detect_s;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    // The channel sees environment-induced dynamics; the device is still.
+    channel::TraceGeneratorConfig cfg;
+    cfg.env = channel::Environment::kOffice;
+    cfg.scenario = sim::MobilityScenario::all_walking(20 * kSecond);
+    cfg.seed = 95'000 + seed * 17;
+    cfg.snr_offset_db = placement_offset_db(static_cast<int>(seed));
+    const auto trace = channel::generate_trace(cfg);
+
+    sensors::MicrophoneSim mic([](Time) { return true; },
+                               util::Rng(700 + seed));
+    sensors::EnvironmentActivityDetector detector;
+    std::vector<std::pair<Time, bool>> timeline;
+    Time first_busy = -1;
+    for (int i = 0; i < 400; ++i) {
+      const auto sample = mic.next();
+      const bool busy = detector.update(sample);
+      timeline.emplace_back(sample.timestamp, busy);
+      if (busy && first_busy < 0) first_busy = sample.timestamp;
+    }
+    if (first_busy >= 0) detect_s.add(to_seconds(first_busy));
+    auto busy_at = [&timeline](Time t) {
+      bool busy = false;
+      for (const auto& [when, value] : timeline) {
+        if (when > t) break;
+        busy = value;
+      }
+      return busy;
+    };
+
+    rate::RunConfig run;
+    run.workload = rate::Workload::kTcp;
+    rate::HintAwareRateAdapter aware(busy_at, util::Rng(42));
+    with_mic.add(rate::run_trace(aware, trace, run).throughput_mbps);
+    rate::HintAwareRateAdapter deaf([](Time) { return false; }, util::Rng(42));
+    without_mic.add(rate::run_trace(deaf, trace, run).throughput_mbps);
+    rate::RapidSample rapid;
+    rapid_only.add(rate::run_trace(rapid, trace, run).throughput_mbps);
+  }
+
+  util::Table table({"strategy", "Mbps"});
+  table.add_row({"movement hint only (stays SampleRate)",
+                 util::fmt_pm(without_mic.mean(),
+                              without_mic.ci95_halfwidth(), 2)});
+  table.add_row({"movement OR microphone hint",
+                 util::fmt_pm(with_mic.mean(), with_mic.ci95_halfwidth(), 2)});
+  table.add_row({"RapidSample always (oracle for this setting)",
+                 util::fmt(rapid_only.mean(), 2)});
+  table.print(std::cout);
+
+  std::printf(
+      "\nMicrophone hint gain: %+.0f%%; busy-environment detection latency "
+      "%.1f s.\n",
+      100.0 * (with_mic.mean() / without_mic.mean() - 1.0), detect_s.mean());
+  std::printf(
+      "\nPaper (§5.6): 'in our experiments in such environments, RapidSample "
+      "performed better than SampleRate' — the microphone detects the "
+      "condition the accelerometer cannot.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Micro-benchmarks of the library's hot paths (google-benchmark): fading
+// evaluation, trace generation, the movement detector, and the per-packet
+// cost of each rate adapter.
+#include <benchmark/benchmark.h>
+
+#include "channel/trace_generator.h"
+#include "mac/airtime.h"
+#include "rate/hint_aware.h"
+#include "rate/rapid_sample.h"
+#include "rate/rraa.h"
+#include "rate/sample_rate.h"
+#include "sensors/accelerometer.h"
+#include "sensors/movement_detector.h"
+#include "sim/event_loop.h"
+
+using namespace sh;
+
+namespace {
+
+void BM_FadingGain(benchmark::State& state) {
+  util::Rng rng(1);
+  const channel::FadingProcess fading(rng);
+  double tau = 0.0;
+  for (auto _ : state) {
+    tau += 0.001;
+    benchmark::DoNotOptimize(fading.gain_db(tau, 1.0));
+  }
+}
+BENCHMARK(BM_FadingGain);
+
+void BM_ChannelSnrAt(benchmark::State& state) {
+  const auto scenario = sim::MobilityScenario::static_then_walking(60 * kSecond);
+  channel::ChannelRealization ch(channel::Environment::kOffice, scenario, 3);
+  Time t = 0;
+  for (auto _ : state) {
+    t = (t + 137) % (60 * kSecond);
+    benchmark::DoNotOptimize(ch.snr_db_at(t));
+  }
+}
+BENCHMARK(BM_ChannelSnrAt);
+
+void BM_GenerateTrace20s(benchmark::State& state) {
+  for (auto _ : state) {
+    channel::TraceGeneratorConfig cfg;
+    cfg.scenario = sim::MobilityScenario::static_then_walking(20 * kSecond);
+    cfg.seed = 5;
+    benchmark::DoNotOptimize(channel::generate_trace(cfg));
+  }
+}
+BENCHMARK(BM_GenerateTrace20s);
+
+void BM_AccelerometerReport(benchmark::State& state) {
+  sensors::AccelerometerSim accel(
+      sim::MobilityScenario::all_walking(3600 * kSecond), util::Rng(7));
+  for (auto _ : state) benchmark::DoNotOptimize(accel.next());
+}
+BENCHMARK(BM_AccelerometerReport);
+
+void BM_MovementDetectorUpdate(benchmark::State& state) {
+  sensors::AccelerometerSim accel(
+      sim::MobilityScenario::all_walking(3600 * kSecond), util::Rng(9));
+  sensors::MovementDetector detector;
+  for (auto _ : state) benchmark::DoNotOptimize(detector.update(accel.next()));
+}
+BENCHMARK(BM_MovementDetectorUpdate);
+
+template <typename Adapter>
+void run_adapter_loop(benchmark::State& state, Adapter& adapter) {
+  util::Rng rng(11);
+  Time t = 0;
+  for (auto _ : state) {
+    t += 400;
+    adapter.on_packet_start(t);
+    const mac::RateIndex r = adapter.pick_rate(t);
+    adapter.on_result(t, r, rng.bernoulli(0.8));
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_RapidSamplePacket(benchmark::State& state) {
+  rate::RapidSample adapter;
+  run_adapter_loop(state, adapter);
+}
+BENCHMARK(BM_RapidSamplePacket);
+
+void BM_SampleRatePacket(benchmark::State& state) {
+  rate::SampleRateAdapter adapter;
+  run_adapter_loop(state, adapter);
+}
+BENCHMARK(BM_SampleRatePacket);
+
+void BM_RraaPacket(benchmark::State& state) {
+  rate::Rraa adapter;
+  run_adapter_loop(state, adapter);
+}
+BENCHMARK(BM_RraaPacket);
+
+void BM_HintAwarePacket(benchmark::State& state) {
+  rate::HintAwareRateAdapter adapter(
+      [](Time t) { return (t / kSecond) % 2 == 1; }, util::Rng(13));
+  run_adapter_loop(state, adapter);
+}
+BENCHMARK(BM_HintAwarePacket);
+
+void BM_AttemptDuration(benchmark::State& state) {
+  int r = 0;
+  for (auto _ : state) {
+    r = (r + 1) % mac::kNumRates;
+    benchmark::DoNotOptimize(mac::attempt_duration(r, 1000, r % 4));
+  }
+}
+BENCHMARK(BM_AttemptDuration);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at((i * 31) % 1000, [&counter] { ++counter; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Movement-based power saving (§5.4): a day-in-the-life radio energy
+// comparison between an always-on radio and the hint-driven sleep policy
+// (sleep while stationary with nothing found; sleep above useful-WiFi
+// speed; wake on movement hints).
+#include <cstdio>
+#include <iostream>
+
+#include "power/power_manager.h"
+#include "util/table.h"
+
+using namespace sh;
+
+namespace {
+
+struct Phase {
+  const char* name;
+  Duration duration;
+  power::RadioPowerManager::Inputs inputs;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Movement-based power saving (radio energy, §5.4) ===\n\n");
+
+  auto in = [](bool assoc, bool found, bool moving, double speed) {
+    power::RadioPowerManager::Inputs inputs;
+    inputs.associated = assoc;
+    inputs.scan_found_ap = found;
+    inputs.moving = moving;
+    inputs.speed_mps = speed;
+    return inputs;
+  };
+
+  // A commuter's morning: desk -> walk -> bus -> walk -> cafe -> park bench.
+  const Phase day[] = {
+      {"desk, associated", 3600 * kSecond, in(true, true, false, 0.0)},
+      {"walk to bus stop", 600 * kSecond, in(false, false, true, 1.4)},
+      {"waiting, no AP around", 300 * kSecond, in(false, false, false, 0.0)},
+      {"bus at 15 m/s", 1200 * kSecond, in(false, false, true, 15.0)},
+      {"highway stretch, 28 m/s", 900 * kSecond, in(false, false, true, 28.0)},
+      {"walk to cafe", 400 * kSecond, in(false, false, true, 1.4)},
+      {"cafe, associated", 2700 * kSecond, in(true, true, false, 0.0)},
+      {"park bench, no AP", 1800 * kSecond, in(false, false, false, 0.0)},
+  };
+
+  power::RadioPowerManager manager;
+  util::Table table({"phase", "duration (min)", "radio state"});
+  Time now = 0;
+  for (const auto& phase : day) {
+    // Update at phase entry (energy integrates at the configured draw until
+    // the next update).
+    const auto state = manager.update(now, phase.inputs);
+    table.add_row({phase.name, util::fmt(to_seconds(phase.duration) / 60.0, 0),
+                   state == power::RadioState::kAwake ? "awake" : "SLEEP"});
+    now += phase.duration;
+  }
+  manager.update(now, day[0].inputs);  // close the last phase's integration
+  table.print(std::cout);
+
+  std::printf(
+      "\nEnergy: policy %.0f J vs always-on %.0f J -> %.0f%% saved over "
+      "%.1f h\n",
+      manager.energy_mj() / 1000.0, manager.baseline_energy_mj() / 1000.0,
+      100.0 * manager.savings_fraction(), to_seconds(now) / 3600.0);
+  std::printf(
+      "\nPaper (§5.4, qualitative): sleep when stationary with no AP in "
+      "range and when moving too fast for useful WiFi; wake on movement "
+      "hints. The savings scale with time spent in those two states.\n");
+  return 0;
+}

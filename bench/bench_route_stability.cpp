@@ -1,0 +1,61 @@
+// Route stability (paper §5.1): CTE-guided route selection vs a hint-free
+// minimum-hop route over the same vehicular situations. The paper's 4-5x
+// stability headline is the Table 5.1 link-duration ratio; this bench is
+// the natural extension to full multi-hop routes (the thesis performs a
+// "preliminary simulation-driven analysis" — we report ours honestly).
+#include <cstdio>
+#include <iostream>
+
+#include "util/stats.h"
+#include "util/table.h"
+#include "vanet/route_sim.h"
+#include "vanet/traffic_sim.h"
+
+using namespace sh;
+
+int main() {
+  std::printf(
+      "=== Route stability: hint-free (min-hop) vs CTE (max bottleneck "
+      "1/heading-diff) ===\n(5 dense arterial networks, 200 route samples "
+      "each)\n\n");
+
+  util::RunningStats free_mean, cte_mean;
+  util::Percentile free_median, cte_median;
+  std::size_t total = 0;
+  for (int net = 0; net < 5; ++net) {
+    const auto road = vanet::RoadNetwork::chords_city(
+        14, 1500.0, 8000 + static_cast<std::uint64_t>(net), 0.75);
+    vanet::TrafficSim::Params params;
+    params.routing = vanet::TrafficSim::Routing::kFollowRoad;
+    params.num_vehicles = 180;
+    vanet::TrafficSim sim(road, 8100 + static_cast<std::uint64_t>(net), params);
+    const auto log = sim.run(420 * kSecond);
+    vanet::RouteExperimentConfig config;
+    config.samples = 200;
+    config.seed = 8200 + static_cast<std::uint64_t>(net);
+    const auto results = vanet::compare_route_strategies(log, config);
+    total += results[0].routes_evaluated;
+    free_mean.add(results[0].mean_lifetime_s);
+    cte_mean.add(results[1].mean_lifetime_s);
+    free_median.add(results[0].median_lifetime_s);
+    cte_median.add(results[1].median_lifetime_s);
+  }
+
+  util::Table table({"strategy", "mean lifetime (s)", "median lifetime (s)"});
+  table.add_row({"hint-free (min hop)", util::fmt(free_mean.mean(), 1),
+                 util::fmt(free_median.median(), 1)});
+  table.add_row({"CTE (heading hints)", util::fmt(cte_mean.mean(), 1),
+                 util::fmt(cte_median.median(), 1)});
+  table.print(std::cout);
+
+  std::printf("\nRoutes evaluated: %zu; CTE/hint-free mean-lifetime ratio: %.2fx\n",
+              total, cte_mean.mean() / free_mean.mean());
+  std::printf(
+      "\nNote: the paper's 4-5x stability factor is the Table 5.1 LINK-level "
+      "result (similar-heading links outlive the all-links median 4-5x; see "
+      "bench_table5_1_link_duration). Multi-hop routes are bottlenecked by "
+      "their worst hop, so the end-to-end gain here is smaller — routes "
+      "crossing between roads must include at least one high-difference "
+      "hop whichever strategy picks them.\n");
+  return 0;
+}

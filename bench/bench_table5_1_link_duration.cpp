@@ -1,0 +1,66 @@
+// Table 5.1: median link duration by initial heading difference across 15
+// vehicular networks of 100 vehicles each. Links = pairs within 100 m,
+// sampled at 1 Hz, on an arterial city road network.
+//
+// Paper's row:  [0,10) -> 66 s, [10,20) -> 32 s, [20,30) -> 15 s,
+// [30,180] -> 9 s, all links -> 16 s; i.e. similar-heading links live 4-5x
+// longer than the median over all links — the basis of the CTE metric.
+#include <cstdio>
+#include <iostream>
+
+#include "util/stats.h"
+#include "util/table.h"
+#include "vanet/link_tracker.h"
+#include "vanet/traffic_sim.h"
+
+using namespace sh;
+
+int main() {
+  std::printf(
+      "=== Table 5.1: median link duration (s) by heading difference ===\n"
+      "(15 networks x 100 vehicles, 600 s each, 100 m link range, 1 Hz)\n\n");
+
+  util::Percentile buckets[4];
+  util::Percentile all;
+  std::size_t total_links = 0;
+  for (int net = 0; net < 15; ++net) {
+    const auto road = vanet::RoadNetwork::chords_city(
+        16, 3000.0, 5000 + static_cast<std::uint64_t>(net), 0.75, 6.0);
+    vanet::TrafficSim::Params params;
+    params.routing = vanet::TrafficSim::Routing::kFollowRoad;
+    params.turn_probability = 0.08;
+    vanet::TrafficSim sim(road, 6000 + static_cast<std::uint64_t>(net), params);
+    const auto log = sim.run(600 * kSecond);
+    const auto links = vanet::extract_links(
+        log, 100.0, /*heading_noise_deg=*/2.0,
+        7000 + static_cast<std::uint64_t>(net));
+    total_links += links.size();
+    for (const auto& link : links) {
+      const double d = link.heading_diff_start_deg;
+      const int bucket = d < 10.0 ? 0 : d < 20.0 ? 1 : d < 30.0 ? 2 : 3;
+      buckets[bucket].add(link.duration_s());
+      all.add(link.duration_s());
+    }
+  }
+
+  util::Table table({"heading diff", "median duration (s)", "links"});
+  const char* names[4] = {"[0,10)", "[10,20)", "[20,30)", "[30,180]"};
+  for (int b = 0; b < 4; ++b) {
+    table.add_row({names[b],
+                   buckets[b].empty() ? "-" : util::fmt(buckets[b].median(), 0),
+                   std::to_string(buckets[b].count())});
+  }
+  table.add_row({"all links", util::fmt(all.median(), 0),
+                 std::to_string(all.count())});
+  table.print(std::cout);
+
+  std::printf("\nTotal links observed: %zu\n", total_links);
+  std::printf(
+      "Similar-heading ([0,10)) to all-links median ratio: %.1fx "
+      "(paper: 66/16 = 4.1x)\n",
+      buckets[0].median() / all.median());
+  std::printf(
+      "\nPaper's row: 66 / 32 / 15 / 9, all links 16 — heading difference "
+      "is a strong predictor of link duration.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Access-point policies with hints (paper §5.2): reproduces the Fig 5-1
+// pathology interactively — two download clients, one walks away mid-run —
+// and shows the hint-aware AP side by side.
+#include <cstdio>
+
+#include "ap/access_point.h"
+
+using namespace sh;
+
+namespace {
+
+void run(bool hint_aware) {
+  std::printf("--- %s AP ---\n", hint_aware ? "hint-aware" : "hint-oblivious");
+  ap::AccessPointSim::Params params;
+  params.hint_aware_pruning = hint_aware;
+  ap::AccessPointSim sim(params, 5);
+  // Client 1 sits at a desk the whole time.
+  sim.add_client(ap::ClientConfig{
+      1, [](Time, mac::RateIndex) { return 0.97; }, true});
+  // Client 2 walks out of range 25 s in.
+  sim.add_client(ap::ClientConfig{
+      2, [](Time t, mac::RateIndex) { return t < 25 * kSecond ? 0.97 : 0.0; },
+      true});
+  // With the Hint Protocol, client 2's phone reports movement as it stands
+  // up — before the link actually dies.
+  if (hint_aware) sim.schedule_hint(24 * kSecond, 2, true);
+
+  sim.run_until(45 * kSecond);
+
+  const auto s1 = sim.stats(1).meter.series(45 * kSecond);
+  const auto s2 = sim.stats(2).meter.series(45 * kSecond);
+  std::printf("  t(s)  client1  client2\n");
+  for (std::size_t s = 0; s < s1.size(); s += 3) {
+    std::printf("  %3zu   %6.2f   %6.2f %s\n", s, s1[s].mbps, s2[s].mbps,
+                s == 24 ? " <- client 2 walks away" : "");
+  }
+  std::printf("  client 2: %s\n\n",
+              sim.stats(2).pruned
+                  ? "pruned after the 10 s giveup timeout"
+                  : (sim.stats(2).parked ? "parked on movement hint + loss"
+                                         : "still associated"));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Smart client pruning at the AP ===\n\n");
+  run(false);
+  run(true);
+  std::printf(
+      "The hint-oblivious AP open-loop retransmits to the absent client at\n"
+      "ever lower rates under frame fairness, starving the client that\n"
+      "stayed; the hint-aware AP parks the departing client immediately and\n"
+      "only probes it occasionally.\n");
+  return 0;
+}

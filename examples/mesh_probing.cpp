@@ -1,0 +1,58 @@
+// Hint-aware topology maintenance (paper Chapter 4): a mesh node keeps a
+// delivery-probability estimate for its neighbor. Probing at the static
+// default rate is blind to motion; always probing fast wastes bandwidth;
+// the adaptive prober follows the movement hint.
+#include <cstdio>
+
+#include "channel/trace_generator.h"
+#include "topo/adaptive_prober.h"
+#include "topo/probing_eval.h"
+
+using namespace sh;
+
+int main() {
+  std::printf("=== Mesh probing with movement hints ===\n\n");
+
+  // A neighbor that is parked, then carried around, then parked again.
+  channel::TraceGeneratorConfig config;
+  config.env = channel::Environment::kOffice;
+  config.scenario = sim::MobilityScenario{{
+      {20 * kSecond, sim::MotionState::kStatic, 0.0},
+      {20 * kSecond, sim::MotionState::kWalking, 1.4},
+      {20 * kSecond, sim::MotionState::kStatic, 0.0},
+  }};
+  config.seed = 11;
+  config.snr_offset_db = -2.0;        // a long marginal mesh link
+  config.shadow_sigma_scale = 2.6;    // heavy body shadowing when carried
+  config.shadow_clock = channel::DopplerClock::Config{0.01, 0.8, 0.9};
+  const auto trace = channel::generate_trace(config);
+  const auto series = topo::ProbeSeries::from_trace(trace);
+
+  // Movement hint (ground truth + 150 ms detection/propagation lag).
+  auto hint = [&series](Time t) {
+    return series.moving(series.index_at(std::max<Time>(0, t - 150 * kMillisecond)));
+  };
+
+  topo::AdaptiveProber prober(hint);
+  const auto adaptive = prober.schedule(series.duration());
+  const auto slow = topo::fixed_probe_schedule(series.duration(), 1.0);
+  const auto fast = topo::fixed_probe_schedule(series.duration(), 10.0);
+
+  struct Row {
+    const char* name;
+    const std::vector<Time>* schedule;
+  };
+  for (const Row& row : {Row{"fixed 1 probe/s", &slow},
+                         Row{"fixed 10 probes/s", &fast},
+                         Row{"hint-adaptive", &adaptive}}) {
+    const auto est = topo::estimate_over_schedule(series, *row.schedule);
+    std::printf("%-18s: %4zu probes, mean |error| = %.3f\n", row.name,
+                row.schedule->size(), topo::series_error(est));
+  }
+
+  std::printf(
+      "\nThe adaptive prober matches the accuracy of fast probing while\n"
+      "sending a fraction of the probes — the saving grows with the share\n"
+      "of time the neighbor spends parked.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Vehicular mesh routing with heading hints (paper §5.1): vehicles cruising
+// an arterial city share heading hints on their neighbor probes; a source
+// picks its multi-hop route to a destination either by minimum hop count
+// (hint-free) or by the Connection Time Estimate metric. The example prints
+// the two routes for a few concrete situations along with how long each
+// survived, plus the link-duration statistics behind the CTE idea.
+#include <cstdio>
+
+#include "core/hints.h"
+#include "util/stats.h"
+#include "vanet/cte.h"
+#include "vanet/link_tracker.h"
+#include "vanet/route_sim.h"
+#include "vanet/traffic_sim.h"
+
+using namespace sh;
+
+int main() {
+  std::printf("=== Vehicular mesh: CTE route selection with heading hints ===\n\n");
+
+  // An arterial road city with 180 vehicles cruising it.
+  const auto roads = vanet::RoadNetwork::chords_city(14, 1500.0, 4242, 0.75);
+  vanet::TrafficSim::Params traffic;
+  traffic.routing = vanet::TrafficSim::Routing::kFollowRoad;
+  traffic.num_vehicles = 180;
+  vanet::TrafficSim sim(roads, 17, traffic);
+  std::printf("Simulating 180 vehicles on %d intersections for 5 minutes...\n\n",
+              roads.num_intersections());
+  const auto log = sim.run(300 * kSecond);
+
+  // Why heading predicts connection time (Table 5.1 in miniature).
+  const auto links = vanet::extract_links(log, 100.0, 2.0, 5);
+  util::Percentile aligned, crossing, all;
+  for (const auto& link : links) {
+    if (link.heading_diff_start_deg < 10.0) aligned.add(link.duration_s());
+    if (link.heading_diff_start_deg >= 30.0) crossing.add(link.duration_s());
+    all.add(link.duration_s());
+  }
+  std::printf("Link durations (median): same heading %0.f s, crossing %0.f s, "
+              "all %0.f s\n\n",
+              aligned.median(), crossing.median(), all.median());
+
+  // A few concrete routing situations.
+  util::Rng rng(3);
+  int shown = 0;
+  for (int attempt = 0; attempt < 400 && shown < 4; ++attempt) {
+    const auto step = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(log.num_steps()) / 2));
+    const int src = static_cast<int>(rng.uniform_int(0, 179));
+    const int dst = static_cast<int>(rng.uniform_int(0, 179));
+    if (src == dst) continue;
+    const auto& snap = log.snapshot(step);
+    util::Rng route_rng(attempt);
+    const auto hint_free = vanet::build_route(
+        snap, src, dst, 80.0, vanet::RouteStrategy::kHintFree, route_rng);
+    if (!hint_free || hint_free->vehicles.size() < 4) continue;
+    const auto cte = vanet::build_route(snap, src, dst, 80.0,
+                                        vanet::RouteStrategy::kCte, route_rng);
+    if (!cte) continue;
+    ++shown;
+
+    auto describe = [&](const vanet::Route& route, const char* name) {
+      double worst_diff = 0.0;
+      for (std::size_t h = 0; h + 1 < route.vehicles.size(); ++h) {
+        worst_diff = std::max(
+            worst_diff,
+            core::heading_difference(
+                snap[static_cast<std::size_t>(route.vehicles[h])].heading_deg,
+                snap[static_cast<std::size_t>(route.vehicles[h + 1])]
+                    .heading_deg));
+      }
+      std::printf("  %-9s: %zu hops, worst heading diff %3.0f deg, lived %4.0f s\n",
+                  name, route.vehicles.size() - 1, worst_diff,
+                  vanet::route_lifetime_s(log, route, step, 100.0));
+    };
+    std::printf("Situation %d (t = %zu s, vehicle %d -> %d):\n", shown, step,
+                src, dst);
+    describe(*hint_free, "min-hop");
+    describe(*cte, "CTE");
+  }
+  std::printf(
+      "\nCTE picks relays headed the same way whenever geometry allows,\n"
+      "trading hop count for route lifetime.\n");
+  return 0;
+}

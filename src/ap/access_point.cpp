@@ -1,0 +1,204 @@
+#include "ap/access_point.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace sh::ap {
+
+AccessPointSim::AccessPointSim(Params params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  assert(params_.retry_limit >= 0);
+  assert(params_.payload_bytes > 0);
+}
+
+void AccessPointSim::add_client(ClientConfig config) {
+  assert(config.link);
+  Client client;
+  client.config = std::move(config);
+  clients_.push_back(std::move(client));
+}
+
+void AccessPointSim::schedule_hint(Time when, sim::NodeId client,
+                                   bool moving) {
+  pending_hints_.push_back(PendingHint{when, client, moving});
+  std::sort(pending_hints_.begin(), pending_hints_.end(),
+            [](const PendingHint& a, const PendingHint& b) {
+              return a.when < b.when;
+            });
+}
+
+void AccessPointSim::apply_due_hints() {
+  while (!pending_hints_.empty() && pending_hints_.front().when <= now_) {
+    const PendingHint hint = pending_hints_.front();
+    pending_hints_.erase(pending_hints_.begin());
+    for (auto& client : clients_) {
+      if (client.config.id != hint.client) continue;
+      client.moving_hint = hint.moving;
+      // A "static again" hint immediately unparks (paper §5.2.3): the
+      // client says it is stable, so resume the aggressive default.
+      if (!hint.moving && client.stats.parked) {
+        client.stats.parked = false;
+        client.consecutive_losses = 0;
+      }
+    }
+  }
+}
+
+double AccessPointSim::fairness_key(const Client& client) const {
+  double weight = 1.0;
+  if (params_.favor_mobile_clients && client.moving_hint)
+    weight = params_.mobile_weight;
+  return client.airtime_used_us / weight;
+}
+
+AccessPointSim::Client* AccessPointSim::pick_client() {
+  auto eligible = [this](const Client& c) {
+    if (c.stats.pruned || !c.config.backlogged) return false;
+    if (c.stats.parked) return now_ >= c.next_probe_at;
+    return true;
+  };
+
+  if (params_.fairness == Fairness::kTime) {
+    Client* best = nullptr;
+    double best_key = std::numeric_limits<double>::infinity();
+    for (auto& c : clients_) {
+      if (!eligible(c)) continue;
+      const double key = fairness_key(c);
+      if (key < best_key) {
+        best_key = key;
+        best = &c;
+      }
+    }
+    return best;
+  }
+
+  // Frame fairness: round robin, with mobile-favoring implemented as extra
+  // turns (a weight-2 mobile client is visited twice as often).
+  const std::size_t n = clients_.size();
+  for (std::size_t scanned = 0; scanned < 2 * n; ++scanned) {
+    Client& c = clients_[next_rr_ % n];
+    ++next_rr_;
+    if (!eligible(c)) continue;
+    if (params_.favor_mobile_clients && !c.moving_hint) {
+      // Static clients yield every other turn when mobile favoring is on
+      // and at least one mobile client is eligible.
+      const bool mobile_waiting =
+          std::any_of(clients_.begin(), clients_.end(), [&](const Client& o) {
+            return o.moving_hint && eligible(o) && &o != &c;
+          });
+      if (mobile_waiting && (next_rr_ % 2 == 0)) continue;
+    }
+    return &c;
+  }
+  return nullptr;
+}
+
+void AccessPointSim::apply_arf(Client& client, bool acked) {
+  if (acked) {
+    client.consecutive_successes++;
+    client.consecutive_losses = 0;
+    if (client.consecutive_successes >= params_.arf_up_after &&
+        client.stats.current_rate < mac::fastest_rate()) {
+      ++client.stats.current_rate;
+      client.consecutive_successes = 0;
+    }
+  } else {
+    client.consecutive_losses++;
+    client.consecutive_successes = 0;
+    if (client.consecutive_losses % params_.arf_down_after == 0 &&
+        client.stats.current_rate > mac::slowest_rate()) {
+      --client.stats.current_rate;
+    }
+  }
+}
+
+void AccessPointSim::serve_data_frame(Client& client) {
+  bool delivered = false;
+  for (int attempt = 0; attempt <= params_.retry_limit; ++attempt) {
+    const mac::RateIndex rate = client.stats.current_rate;
+    const Duration airtime =
+        mac::attempt_duration(rate, params_.payload_bytes, attempt);
+    now_ += airtime;
+    client.airtime_used_us += static_cast<double>(airtime);
+
+    const double p = client.config.link(now_, rate);
+    delivered = rng_.bernoulli(p);
+    apply_arf(client, delivered);
+    if (delivered) break;
+    ++client.stats.frames_lost;
+  }
+
+  if (delivered) {
+    ++client.stats.frames_delivered;
+    client.stats.meter.add(now_, static_cast<std::size_t>(params_.payload_bytes));
+    client.last_ack = now_;
+    return;
+  }
+
+  // Whole retry chain failed.
+  if (params_.hint_aware_pruning && client.moving_hint &&
+      client.consecutive_losses >= params_.park_after_failures) {
+    client.stats.parked = true;
+    client.next_probe_at = now_ + params_.parked_probe_interval;
+    return;
+  }
+  if (now_ - client.last_ack >= params_.prune_timeout) {
+    client.stats.pruned = true;
+    client.stats.pruned_at = now_;
+  }
+}
+
+void AccessPointSim::serve_parked_probe(Client& client) {
+  // One short frame, no retry chain: the whole point of parking is to stop
+  // paying the open-loop retransmission tax.
+  const mac::RateIndex rate = mac::slowest_rate();
+  const Duration airtime =
+      mac::attempt_duration(rate, params_.probe_payload_bytes, /*retry=*/0);
+  now_ += airtime;
+  client.airtime_used_us += static_cast<double>(airtime);
+  ++client.stats.probe_frames;
+
+  if (rng_.bernoulli(client.config.link(now_, rate))) {
+    client.stats.parked = false;
+    client.consecutive_losses = 0;
+    client.last_ack = now_;
+  } else {
+    client.next_probe_at = now_ + params_.parked_probe_interval;
+  }
+}
+
+void AccessPointSim::run_until(Time end) {
+  while (now_ < end) {
+    apply_due_hints();
+    Client* client = pick_client();
+    if (client == nullptr) {
+      // Nothing to send: idle to the next event (probe timer or hint).
+      Time wake = end;
+      for (const auto& c : clients_) {
+        if (c.stats.parked && !c.stats.pruned)
+          wake = std::min(wake, c.next_probe_at);
+      }
+      if (!pending_hints_.empty())
+        wake = std::min(wake, pending_hints_.front().when);
+      now_ = std::max(now_ + kMillisecond, wake);
+      continue;
+    }
+    if (client->stats.parked) {
+      serve_parked_probe(*client);
+    } else {
+      serve_data_frame(*client);
+    }
+  }
+}
+
+const AccessPointSim::ClientStats& AccessPointSim::stats(
+    sim::NodeId client) const {
+  for (const auto& c : clients_) {
+    if (c.config.id == client) return c.stats;
+  }
+  throw std::out_of_range("unknown client id");
+}
+
+}  // namespace sh::ap

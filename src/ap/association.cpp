@@ -1,0 +1,109 @@
+#include "ap/association.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/hints.h"
+
+namespace sh::ap {
+
+int rssi_bucket(double rssi_dbm) noexcept {
+  if (rssi_dbm < -80.0) return 0;
+  if (rssi_dbm < -76.0) return 1;
+  if (rssi_dbm < -72.0) return 2;
+  if (rssi_dbm < -66.0) return 3;
+  if (rssi_dbm < -58.0) return 4;
+  return 5;
+}
+
+int approach_class(double heading_deg, double bearing_to_ap_deg,
+                   bool moving) noexcept {
+  if (!moving) return 0;
+  const double diff = core::heading_difference(heading_deg, bearing_to_ap_deg);
+  if (diff <= 60.0) return 1;
+  if (diff >= 120.0) return -1;
+  return 0;
+}
+
+AssociationScorer::AssociationScorer(Params params) : params_(params) {}
+
+std::size_t AssociationScorer::index(const AssociationFeatures& features) {
+  assert(features.approach >= -1 && features.approach <= 1);
+  assert(features.rssi_bucket >= 0 && features.rssi_bucket < kRssiBuckets);
+  const std::size_t m = features.moving ? 1 : 0;
+  const auto a = static_cast<std::size_t>(features.approach + 1);
+  const auto r = static_cast<std::size_t>(features.rssi_bucket);
+  return (m * 3 + a) * kRssiBuckets + r;
+}
+
+void AssociationScorer::record(const AssociationFeatures& features,
+                               double lifetime_s) {
+  Cell& cell = cells_[index(features)];
+  cell.ewma_lifetime_s =
+      cell.count == 0
+          ? lifetime_s
+          : params_.ewma_alpha * lifetime_s +
+                (1.0 - params_.ewma_alpha) * cell.ewma_lifetime_s;
+  ++cell.count;
+}
+
+double AssociationScorer::predict_lifetime_s(
+    const AssociationFeatures& features) const {
+  const Cell& cell = cells_[index(features)];
+  if (cell.count == 0) {
+    return params_
+        .prior_lifetime_s[static_cast<std::size_t>(features.rssi_bucket)];
+  }
+  return cell.ewma_lifetime_s;
+}
+
+std::size_t AssociationScorer::observations(
+    const AssociationFeatures& features) const {
+  return cells_[index(features)].count;
+}
+
+std::optional<sim::NodeId> choose_strongest_rssi(
+    std::span<const ApCandidate> candidates) {
+  std::optional<sim::NodeId> best;
+  double best_rssi = -1e9;
+  for (const auto& c : candidates) {
+    if (c.rssi_dbm > best_rssi) {
+      best_rssi = c.rssi_dbm;
+      best = c.ap;
+    }
+  }
+  return best;
+}
+
+std::optional<sim::NodeId> choose_hint_aware(
+    const AssociationScorer& scorer, std::span<const ApCandidate> candidates,
+    bool moving, double heading_deg, double min_viable_rssi_dbm) {
+  // Hints rank APs whose signals are comparable; a hint never justifies a
+  // signal tens of dB weaker. The floor is therefore the stricter of the
+  // absolute viability limit and "within 8 dB of the strongest candidate".
+  double strongest = -1e9;
+  for (const auto& c : candidates) strongest = std::max(strongest, c.rssi_dbm);
+  const double floor_dbm = std::max(min_viable_rssi_dbm, strongest - 8.0);
+
+  std::optional<sim::NodeId> best;
+  double best_score = -1e9;
+  double best_rssi = -1e9;
+  for (const auto& c : candidates) {
+    if (c.rssi_dbm < floor_dbm) continue;
+    AssociationFeatures features;
+    features.moving = moving;
+    features.approach = approach_class(heading_deg, c.bearing_deg, moving);
+    features.rssi_bucket = rssi_bucket(c.rssi_dbm);
+    const double score = scorer.predict_lifetime_s(features);
+    if (score > best_score ||
+        (score == best_score && c.rssi_dbm > best_rssi)) {
+      best_score = score;
+      best_rssi = c.rssi_dbm;
+      best = c.ap;
+    }
+  }
+  if (!best) return choose_strongest_rssi(candidates);
+  return best;
+}
+
+}  // namespace sh::ap

@@ -1,0 +1,94 @@
+// Adaptive association (paper §5.2.1).
+//
+// Clients append mobility hints (movement, heading) to probe requests; the
+// AP side — or a database consulted by the client — scores each candidate AP
+// by its *predicted association lifetime*, learned online from completed
+// associations, and the client picks the best score instead of the strongest
+// signal. The learner is a small table over coarse feature buckets
+// (moving x approach-direction x RSSI), seeded with an RSSI-only prior so
+// behaviour before training matches the legacy policy.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+
+#include "sim/ids.h"
+
+namespace sh::ap {
+
+struct AssociationFeatures {
+  bool moving = false;
+  /// -1 receding, 0 no heading info / static, +1 approaching the AP.
+  int approach = 0;
+  /// RSSI bucket 0 (weak) .. 3 (strong).
+  int rssi_bucket = 0;
+};
+
+/// Maps a raw RSSI in dBm to the 6 learner buckets
+/// (<-80, -80..-76, -76..-72, -72..-66, -66..-58, >=-58). The fine edges in
+/// the -80..-66 range matter: that is where "strong enough to pick" and
+/// "about to die" must be told apart when choosing an AP ahead.
+int rssi_bucket(double rssi_dbm) noexcept;
+
+inline constexpr int kRssiBuckets = 6;
+
+/// Classifies approach from the client heading and the bearing toward the
+/// AP: within 60 degrees = approaching, within 60 of the reverse = receding.
+int approach_class(double heading_deg, double bearing_to_ap_deg,
+                   bool moving) noexcept;
+
+class AssociationScorer {
+ public:
+  struct Params {
+    double ewma_alpha = 0.3;
+    /// RSSI-only prior lifetimes (seconds) per bucket, used until a feature
+    /// cell has observations.
+    std::array<double, kRssiBuckets> prior_lifetime_s{6.0,  12.0, 22.0,
+                                                      35.0, 45.0, 55.0};
+  };
+
+  AssociationScorer() : AssociationScorer(Params{}) {}
+  explicit AssociationScorer(Params params);
+
+  /// Records a completed association of `lifetime_s` under `features`.
+  void record(const AssociationFeatures& features, double lifetime_s);
+
+  /// Predicted association lifetime for `features` (the score clients
+  /// compare across APs).
+  double predict_lifetime_s(const AssociationFeatures& features) const;
+
+  /// Observations recorded into the cell for `features`.
+  std::size_t observations(const AssociationFeatures& features) const;
+
+ private:
+  struct Cell {
+    double ewma_lifetime_s = 0.0;
+    std::size_t count = 0;
+  };
+  static std::size_t index(const AssociationFeatures& features);
+
+  Params params_;
+  std::array<Cell, 2 * 3 * kRssiBuckets> cells_{};
+};
+
+/// One candidate AP as seen in a scan.
+struct ApCandidate {
+  sim::NodeId ap = 0;
+  double rssi_dbm = -90.0;
+  double bearing_deg = 0.0;  ///< Direction from client to AP.
+};
+
+/// Legacy policy: strongest signal wins.
+std::optional<sim::NodeId> choose_strongest_rssi(
+    std::span<const ApCandidate> candidates);
+
+/// Hint-aware policy: highest predicted lifetime wins among candidates
+/// strong enough to sustain an association at all (hints complement signal
+/// strength, they do not replace it — §5.2.1); RSSI breaks ties. Falls back
+/// to the strongest signal when nothing clears the viability floor.
+std::optional<sim::NodeId> choose_hint_aware(
+    const AssociationScorer& scorer, std::span<const ApCandidate> candidates,
+    bool moving, double heading_deg, double min_viable_rssi_dbm = -75.0);
+
+}  // namespace sh::ap

@@ -1,0 +1,147 @@
+#include "ap/association_sim.h"
+
+#include <cassert>
+#include <cmath>
+#include <optional>
+
+#include "util/stats.h"
+
+namespace sh::ap {
+namespace {
+
+double rssi_at(double distance_m, const CorridorConfig& config,
+               util::Rng& rng) {
+  const double d = std::max(distance_m, 1.0);
+  // Clients average the RSSI of several beacons per scan; model the
+  // averaged measurement (4 samples) rather than a single noisy draw.
+  double noise = 0.0;
+  for (int i = 0; i < 4; ++i) noise += rng.normal(0.0, config.rssi_noise_db);
+  return config.tx_power_dbm -
+         10.0 * config.path_loss_exponent * std::log10(d) + noise / 4.0;
+}
+
+}  // namespace
+
+CorridorResult run_corridor(AssociationPolicy policy,
+                            AssociationScorer& scorer,
+                            const CorridorConfig& config) {
+  assert(config.num_aps >= 2);
+  util::Rng rng(config.seed);
+
+  const double corridor_length =
+      static_cast<double>(config.num_aps - 1) * config.ap_spacing_m;
+
+  struct ActiveAssociation {
+    sim::NodeId ap;
+    Time since;
+    Time usable_from;  ///< Connectivity resumes after the handoff delay.
+    AssociationFeatures features;  ///< Features at association time.
+  };
+  std::optional<ActiveAssociation> active;
+
+  std::size_t handoffs = 0;
+  util::RunningStats lifetimes;
+  util::Percentile lifetime_dist;
+  Duration connected = 0;
+  Time now = 0;
+
+  auto close_association = [&](Time when) {
+    if (!active) return;
+    const double lifetime_s = to_seconds(when - active->since);
+    lifetimes.add(lifetime_s);
+    lifetime_dist.add(lifetime_s);
+    scorer.record(active->features, lifetime_s);
+    active.reset();
+  };
+
+  double position = 0.0;
+  double direction = 1.0;  // +1 toward the far end, -1 back.
+  int passes_done = 0;
+  while (passes_done < config.passes) {
+    // Advance one scan interval.
+    position += direction * config.walk_speed_mps *
+                to_seconds(config.scan_interval);
+    if (position >= corridor_length) {
+      position = corridor_length;
+      direction = -1.0;
+      ++passes_done;
+    } else if (position <= 0.0) {
+      position = 0.0;
+      direction = 1.0;
+      ++passes_done;
+    }
+    now += config.scan_interval;
+    const double heading = direction > 0 ? 90.0 : 270.0;  // east / west
+
+    // Scan: candidate APs with measured RSSI and bearing.
+    std::vector<ApCandidate> candidates;
+    for (int ap = 0; ap < config.num_aps; ++ap) {
+      const double ap_pos = static_cast<double>(ap) * config.ap_spacing_m;
+      ApCandidate candidate;
+      candidate.ap = static_cast<sim::NodeId>(ap + 1);
+      candidate.rssi_dbm = rssi_at(std::fabs(ap_pos - position), config, rng);
+      candidate.bearing_deg = ap_pos >= position ? 90.0 : 270.0;
+      candidates.push_back(candidate);
+    }
+
+    // Current association health.
+    if (active) {
+      const auto ap_index = static_cast<std::size_t>(active->ap - 1);
+      const double current_rssi = candidates[ap_index].rssi_dbm;
+      if (current_rssi < config.disconnect_rssi_dbm) {
+        close_association(now);
+      } else {
+        if (now >= active->usable_from) connected += config.scan_interval;
+        if (current_rssi > config.roam_rssi_dbm) continue;  // sticky
+      }
+    }
+
+    // (Re)associate per policy.
+    std::optional<sim::NodeId> choice;
+    if (policy == AssociationPolicy::kStrongestRssi) {
+      choice = choose_strongest_rssi(candidates);
+    } else {
+      // Viability floor: a few dB of margin above the disconnect threshold
+      // (an AP any weaker cannot sustain the association being predicted).
+      choice = choose_hint_aware(scorer, candidates, /*moving=*/true, heading,
+                                 config.disconnect_rssi_dbm + 3.0);
+    }
+    if (!choice) continue;
+    if (active && active->ap == *choice) continue;
+    // Switching to an AP that is itself already below the roam threshold
+    // would immediately re-trigger roaming; wait unless the current link is
+    // about to die (emergency roam).
+    if (active) {
+      const double choice_rssi =
+          candidates[static_cast<std::size_t>(*choice - 1)].rssi_dbm;
+      const double current_rssi =
+          candidates[static_cast<std::size_t>(active->ap - 1)].rssi_dbm;
+      const bool emergency =
+          current_rssi < config.disconnect_rssi_dbm + 4.0;
+      if (!emergency && choice_rssi < config.roam_rssi_dbm) continue;
+    }
+
+    close_association(now);
+    ++handoffs;
+    const auto& chosen = candidates[static_cast<std::size_t>(*choice - 1)];
+    AssociationFeatures features;
+    features.moving = true;
+    features.approach = approach_class(heading, chosen.bearing_deg, true);
+    features.rssi_bucket = rssi_bucket(chosen.rssi_dbm);
+    active = ActiveAssociation{*choice, now, now + config.handoff_delay,
+                               features};
+  }
+  close_association(now);
+
+  CorridorResult result;
+  result.associations = lifetimes.count();
+  result.handoffs = handoffs;
+  result.mean_lifetime_s = lifetimes.mean();
+  result.median_lifetime_s =
+      lifetime_dist.empty() ? 0.0 : lifetime_dist.median();
+  result.connected_fraction =
+      now > 0 ? to_seconds(connected) / to_seconds(now) : 0.0;
+  return result;
+}
+
+}  // namespace sh::ap

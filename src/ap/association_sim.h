@@ -1,0 +1,57 @@
+// Corridor walk evaluation for adaptive association (paper §5.2.1).
+//
+// A client walks back and forth along a corridor of access points, scanning
+// periodically and (re)associating per policy. The legacy policy picks the
+// strongest signal — which, mid-stride, is usually the AP just *passed*;
+// the hint-aware policy feeds movement + heading hints to the learned
+// lifetime scorer, which discovers that APs ahead keep clients longer.
+// Training happens online, exactly as §5.2.1 sketches: every completed
+// association is reported back to the scorer with its features.
+#pragma once
+
+#include <vector>
+
+#include "ap/association.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sh::ap {
+
+struct CorridorConfig {
+  int num_aps = 8;
+  double ap_spacing_m = 45.0;
+  double walk_speed_mps = 1.4;
+  int passes = 20;              ///< Back-and-forth lengths of the corridor.
+  Duration scan_interval = kSecond;
+  double tx_power_dbm = -30.0;  ///< RSSI at 1 m.
+  double path_loss_exponent = 3.0;
+  double rssi_noise_db = 2.5;
+  double disconnect_rssi_dbm = -82.0;  ///< Association dies below this.
+  /// Re-associate when the policy's choice differs AND the current AP has
+  /// weakened below this (sticky clients don't roam on every scan).
+  double roam_rssi_dbm = -70.0;
+  /// A handoff (auth + DHCP + path re-establishment) interrupts
+  /// connectivity for this long — the cost that makes churn expensive and
+  /// association lifetime worth optimizing (§5.2.1's motivation).
+  Duration handoff_delay = 1500 * kMillisecond;
+  std::uint64_t seed = 1;
+};
+
+enum class AssociationPolicy { kStrongestRssi, kHintAware };
+
+struct CorridorResult {
+  std::size_t associations = 0;       ///< Completed association episodes.
+  std::size_t handoffs = 0;           ///< AP switches (episodes - gaps).
+  double mean_lifetime_s = 0.0;
+  double median_lifetime_s = 0.0;
+  double connected_fraction = 0.0;    ///< Time with a live association.
+};
+
+/// Runs the corridor walk. For kHintAware, `scorer` is trained online and
+/// consulted for every choice; pass a pre-trained scorer to evaluate
+/// without the cold start, or a fresh one to measure learning end to end.
+CorridorResult run_corridor(AssociationPolicy policy,
+                            AssociationScorer& scorer,
+                            const CorridorConfig& config);
+
+}  // namespace sh::ap

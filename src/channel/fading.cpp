@@ -1,0 +1,113 @@
+#include "channel/fading.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace sh::channel {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kGainFloorDb = -40.0;
+}  // namespace
+
+FadingProcess::FadingProcess(util::Rng& rng, int num_paths)
+    : los_phase_(rng.uniform(0.0, kTwoPi)),
+      norm_(1.0 / std::sqrt(static_cast<double>(num_paths))) {
+  assert(num_paths > 0);
+  paths_.reserve(static_cast<std::size_t>(num_paths));
+  for (int n = 0; n < num_paths; ++n) {
+    paths_.push_back(Path{std::cos(rng.uniform(0.0, kTwoPi)),
+                          rng.uniform(0.0, kTwoPi), rng.uniform(0.0, kTwoPi)});
+  }
+}
+
+double FadingProcess::gain_db(double tau, double rician_k) const noexcept {
+  double gi = 0.0;
+  double gq = 0.0;
+  for (const auto& p : paths_) {
+    const double theta = kTwoPi * p.cos_alpha * tau;
+    gi += std::cos(theta + p.phase_i);
+    gq += std::cos(theta + p.phase_q);
+  }
+  gi *= norm_;
+  gq *= norm_;
+  // Scattered power is E[gi^2 + gq^2] = 1. Mix in the LOS component so total
+  // mean power stays 1: scattered gets 1/(K+1), LOS gets K/(K+1).
+  const double scatter_scale = std::sqrt(1.0 / (rician_k + 1.0));
+  const double los_amp = std::sqrt(rician_k / (rician_k + 1.0));
+  // LOS arrives head-on: its Doppler phase advances at the full rate.
+  const double los_theta = kTwoPi * tau + los_phase_;
+  const double i = scatter_scale * gi + los_amp * std::cos(los_theta);
+  const double q = scatter_scale * gq + los_amp * std::sin(los_theta);
+  const double power = i * i + q * q;
+  if (power <= 0.0) return kGainFloorDb;
+  const double db = 10.0 * std::log10(power);
+  return db < kGainFloorDb ? kGainFloorDb : db;
+}
+
+DopplerClock::DopplerClock(const sim::MobilityScenario& scenario, Config config) {
+  Time start = 0;
+  double tau = 0.0;
+  for (const auto& phase : scenario.phases()) {
+    double hz = config.static_hz;
+    switch (phase.state) {
+      case sim::MotionState::kStatic:
+        hz = config.static_hz;
+        break;
+      case sim::MotionState::kWalking:
+        hz = config.walking_hz;
+        break;
+      case sim::MotionState::kVehicle:
+        hz = std::max(config.static_hz,
+                      phase.speed_mps * config.vehicle_hz_per_mps);
+        break;
+    }
+    segments_.push_back(Segment{start, tau, hz});
+    tau += hz * to_seconds(phase.duration);
+    start += phase.duration;
+  }
+  if (segments_.empty()) segments_.push_back(Segment{0, 0.0, config.static_hz});
+}
+
+double DopplerClock::tau_at(Time t) const noexcept {
+  const Segment* seg = &segments_.front();
+  for (const auto& s : segments_) {
+    if (s.start > t) break;
+    seg = &s;
+  }
+  return seg->tau_start + seg->hz * to_seconds(t - seg->start);
+}
+
+double DopplerClock::doppler_hz_at(Time t) const noexcept {
+  const Segment* seg = &segments_.front();
+  for (const auto& s : segments_) {
+    if (s.start > t) break;
+    seg = &s;
+  }
+  return seg->hz;
+}
+
+ShadowingProcess::ShadowingProcess(util::Rng& rng, double sigma_db,
+                                   double period_s) {
+  assert(sigma_db >= 0.0);
+  assert(period_s > 0.0);
+  // Four sinusoids with periods spread around `period_s`; amplitudes chosen
+  // so total variance = sigma^2 (each sinusoid contributes amp^2/2).
+  constexpr int kComponents = 4;
+  const double per_component_amp =
+      sigma_db * std::sqrt(2.0 / static_cast<double>(kComponents));
+  for (int i = 0; i < kComponents; ++i) {
+    const double period = period_s * rng.uniform(0.5, 2.0);
+    components_.push_back(Component{per_component_amp, kTwoPi / period,
+                                    rng.uniform(0.0, kTwoPi)});
+  }
+}
+
+double ShadowingProcess::offset_db(double progress_s) const noexcept {
+  double sum = 0.0;
+  for (const auto& c : components_)
+    sum += c.amplitude_db * std::sin(c.omega * progress_s + c.phase);
+  return sum;
+}
+
+}  // namespace sh::channel

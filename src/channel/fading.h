@@ -1,0 +1,102 @@
+// Time-correlated small-scale fading (Clarke/Jakes sum-of-sinusoids) plus a
+// slowly varying shadowing process.
+//
+// Why sum-of-sinusoids: the generator is a pure function of time, so traces
+// can be sampled at any resolution (5 ms slots for protocol replay, 0.2 ms
+// packet spacing for the loss-correlation measurement of Fig 3-1) and remain
+// exactly reproducible from a seed. The Doppler frequency sets the channel
+// coherence time (Tc ~= 0.423 / f_d), which is the single knob that separates
+// the paper's static channels (coherent over seconds) from its mobile ones
+// (coherent over ~10 ms).
+#pragma once
+
+#include <vector>
+
+#include "sim/mobility.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sh::channel {
+
+/// Rayleigh/Rician fading gain as a deterministic function of "Doppler time"
+/// tau = integral of f_d(t) dt (dimensionless cycles). Mean power is 1
+/// (0 dB), i.e. the process only redistributes power around the mean SNR.
+class FadingProcess {
+ public:
+  /// `num_paths` scattered components; 8+ gives an acceptably Rayleigh-like
+  /// envelope, 16 is the default.
+  explicit FadingProcess(util::Rng& rng, int num_paths = 16);
+
+  /// Power gain in dB at Doppler time `tau`, mixing a fixed line-of-sight
+  /// component of Rician factor `k` (k = 0 -> pure Rayleigh) with the
+  /// scattered sum. Gain is floored at -40 dB to keep downstream math finite.
+  double gain_db(double tau, double rician_k = 0.0) const noexcept;
+
+ private:
+  struct Path {
+    double cos_alpha;  ///< Arrival-angle cosine (scales the Doppler shift).
+    double phase_i;    ///< In-phase component phase offset.
+    double phase_q;    ///< Quadrature component phase offset.
+  };
+  std::vector<Path> paths_;
+  double los_phase_;
+  double norm_;  ///< 1/sqrt(num_paths): normalizes scattered power to 1.
+};
+
+/// Maps real time to Doppler time for a mobility scenario: integrates a
+/// piecewise-constant Doppler frequency (one value per motion state).
+class DopplerClock {
+ public:
+  struct Config {
+    double static_hz = 0.8;   ///< Residual environmental motion when still.
+    double walking_hz = 45.0; ///< Tc ~= 9 ms, matching the paper's Fig 3-1.
+    /// Vehicle Doppler scales with speed: f_d = speed_mps * hz_per_mps.
+    double vehicle_hz_per_mps = 19.3;  ///< v * f_c / c at 5.8 GHz.
+  };
+
+  explicit DopplerClock(const sim::MobilityScenario& scenario)
+      : DopplerClock(scenario, Config{}) {}
+  DopplerClock(const sim::MobilityScenario& scenario, Config config);
+
+  /// Doppler time (cycles elapsed) at real time `t`.
+  double tau_at(Time t) const noexcept;
+  /// Instantaneous Doppler frequency at real time `t`.
+  double doppler_hz_at(Time t) const noexcept;
+
+ private:
+  struct Segment {
+    Time start;
+    double tau_start;  ///< Accumulated cycles at segment start.
+    double hz;
+  };
+  std::vector<Segment> segments_;
+};
+
+/// Slow shadowing (large-scale) variation in dB: a seeded sum of a few
+/// low-frequency sinusoids, giving a smooth zero-mean process with the target
+/// standard deviation — deterministic and randomly accessible like the fast
+/// fading.
+///
+/// Shadowing is a function of *position*, not time: a stationary device sees
+/// an almost frozen large-scale channel, while a moving one sweeps through
+/// obstructions. Callers therefore evaluate the process at a motion-scaled
+/// progress variable (walking-equivalent seconds, produced by a DopplerClock
+/// with shadowing rates) rather than at wall-clock time.
+class ShadowingProcess {
+ public:
+  /// `sigma_db` standard deviation; `period_s` roughly the dominant
+  /// variation period in progress units.
+  ShadowingProcess(util::Rng& rng, double sigma_db, double period_s = 8.0);
+
+  double offset_db(double progress_s) const noexcept;
+
+ private:
+  struct Component {
+    double amplitude_db;
+    double omega;  ///< rad per second.
+    double phase;
+  };
+  std::vector<Component> components_;
+};
+
+}  // namespace sh::channel

@@ -1,0 +1,42 @@
+// Gilbert-Elliott two-state burst-loss channel.
+//
+// A lightweight alternative to the fading model: used in tests as a
+// ground-truth channel with analytically known loss rate and burstiness, and
+// in ablations to check protocol rankings are not an artefact of the fading
+// generator.
+#pragma once
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sh::channel {
+
+class GilbertElliott {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.05;  ///< Transition probability per step.
+    double p_bad_to_good = 0.30;
+    double loss_in_good = 0.01;   ///< Per-packet loss probability per state.
+    double loss_in_bad = 0.70;
+  };
+
+  GilbertElliott(util::Rng rng, Params params);
+
+  /// Advances one step (state transition) and samples one packet fate.
+  /// Returns true if the packet is delivered.
+  bool step();
+
+  bool in_good_state() const noexcept { return good_; }
+
+  /// Stationary probability of the good state.
+  double stationary_good() const noexcept;
+  /// Long-run packet loss probability.
+  double expected_loss() const noexcept;
+
+ private:
+  util::Rng rng_;
+  Params params_;
+  bool good_ = true;
+};
+
+}  // namespace sh::channel

@@ -1,0 +1,33 @@
+#include "channel/snr_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sh::channel {
+
+double delivery_probability(double snr_db, mac::RateIndex rate,
+                            int payload_bytes, const SnrModelParams& params) {
+  assert(mac::valid_rate(rate));
+  assert(payload_bytes > 0);
+  // A frame twice as long has twice the symbols exposed to errors; in the
+  // logistic-threshold picture that shifts the 50% point up by a small,
+  // logarithmic amount (~0.9 dB per doubling).
+  const double length_shift_db =
+      0.9 * std::log2(static_cast<double>(payload_bytes) /
+                      static_cast<double>(params.reference_bytes));
+  const double threshold = mac::rate(rate).min_snr_db + length_shift_db;
+  const double x = (snr_db - threshold) / params.transition_width_db;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+mac::RateIndex best_rate_for_snr(double snr_db, double target,
+                                 int payload_bytes,
+                                 const SnrModelParams& params) {
+  for (mac::RateIndex r = mac::fastest_rate(); r > mac::slowest_rate(); --r) {
+    if (delivery_probability(snr_db, r, payload_bytes, params) >= target)
+      return r;
+  }
+  return mac::slowest_rate();
+}
+
+}  // namespace sh::channel

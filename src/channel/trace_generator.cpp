@@ -1,0 +1,137 @@
+#include "channel/trace_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sh::channel {
+
+ChannelRealization::ChannelRealization(Environment env,
+                                       sim::MobilityScenario scenario,
+                                       std::uint64_t seed,
+                                       DriveByGeometry geometry,
+                                       double snr_offset_db,
+                                       double shadow_sigma_scale,
+                                       DopplerClock::Config shadow_clock)
+    : profile_(&environment_profile(env)),
+      scenario_(std::move(scenario)),
+      env_(env),
+      geometry_(geometry),
+      snr_offset_db_(snr_offset_db),
+      rng_(seed),
+      fading_(rng_),
+      doppler_(scenario_, profile_->doppler),
+      // Shadowing progress: ~frozen while still, faster while moving (the
+      // device sweeps through obstructions proportionally to distance).
+      shadow_clock_(scenario_, shadow_clock),
+      shadowing_(rng_, profile_->shadow_sigma_db * shadow_sigma_scale,
+                 profile_->shadow_period_s) {
+  // Precompute cumulative travelled distance at each phase boundary so the
+  // vehicular drive-by position is randomly accessible.
+  Time start = 0;
+  double metres = 0.0;
+  for (const auto& phase : scenario_.phases()) {
+    distance_checkpoints_.emplace_back(start, metres);
+    metres += phase.speed_mps * to_seconds(phase.duration);
+    start += phase.duration;
+  }
+  if (distance_checkpoints_.empty()) distance_checkpoints_.emplace_back(0, 0.0);
+
+  // Precompute the interference-burst schedule (Poisson arrivals,
+  // exponential durations) so burst membership is random-access.
+  if (profile_->burst_rate_hz > 0.0) {
+    const double mean_gap_us = 1e6 / profile_->burst_rate_hz;
+    Time t = static_cast<Time>(rng_.exponential(mean_gap_us));
+    const Time end = scenario_.total_duration();
+    while (t < end) {
+      const auto duration = static_cast<Duration>(rng_.exponential(
+          static_cast<double>(profile_->burst_mean_duration)));
+      bursts_.emplace_back(t, t + duration);
+      t += duration + static_cast<Time>(rng_.exponential(mean_gap_us));
+    }
+  }
+}
+
+bool ChannelRealization::in_burst(Time t) const {
+  // Bursts are sorted; binary search for the first burst ending after t.
+  const auto it = std::lower_bound(
+      bursts_.begin(), bursts_.end(), t,
+      [](const std::pair<Time, Time>& b, Time value) { return b.second <= value; });
+  return it != bursts_.end() && it->first <= t;
+}
+
+double ChannelRealization::distance_path_loss_db(Time t) const {
+  if (env_ != Environment::kVehicular) return 0.0;
+  // Cumulative distance travelled by time t.
+  const std::pair<Time, double>* cp = &distance_checkpoints_.front();
+  for (const auto& c : distance_checkpoints_) {
+    if (c.first > t) break;
+    cp = &c;
+  }
+  const double s =
+      cp->second + scenario_.speed_at(t) * to_seconds(t - cp->first);
+  // Shuttle along [-L, L]: position is a triangle wave of travelled
+  // distance, phased so the car starts at start_position_m heading +.
+  const double length = geometry_.road_half_length_m;
+  const double cycle = 4.0 * length;
+  double m = std::fmod(s + geometry_.start_position_m + length, cycle);
+  if (m < 0.0) m += cycle;
+  const double pos = (m < 2.0 * length) ? (-length + m) : (3.0 * length - m);
+  const double dist = std::hypot(geometry_.lateral_offset_m, pos);
+  return 10.0 * geometry_.path_loss_exponent *
+         std::log10(dist / geometry_.lateral_offset_m);
+}
+
+double ChannelRealization::snr_db_at(Time t) const {
+  const bool moving = scenario_.moving_at(t);
+  const double k =
+      moving ? profile_->rician_k_mobile : profile_->rician_k_static;
+  const double fade = fading_.gain_db(doppler_.tau_at(t), k);
+  const double burst = in_burst(t) ? profile_->burst_depth_db : 0.0;
+  return profile_->mean_snr_db + snr_offset_db_ - distance_path_loss_db(t) +
+         shadowing_.offset_db(shadow_clock_.tau_at(t)) + fade - burst;
+}
+
+double ChannelRealization::delivery_probability_at(Time t, mac::RateIndex rate,
+                                                   int payload_bytes) const {
+  return delivery_probability(snr_db_at(t), rate, payload_bytes);
+}
+
+bool ChannelRealization::sample_delivery(Time t, mac::RateIndex rate,
+                                         util::Rng& rng,
+                                         int payload_bytes) const {
+  return rng.bernoulli(delivery_probability_at(t, rate, payload_bytes));
+}
+
+PacketFateTrace generate_trace(const TraceGeneratorConfig& config) {
+  assert(config.slot_duration > 0);
+  ChannelRealization channel(config.env, config.scenario, config.seed,
+                             config.geometry, config.snr_offset_db,
+                             config.shadow_sigma_scale, config.shadow_clock);
+  // Independent stream for fate draws so SNR(t) and the Bernoulli outcomes
+  // are decorrelated.
+  util::Rng fate_rng(config.seed ^ 0xF47E5EEDULL);
+
+  const Duration total = config.scenario.total_duration();
+  const auto num_slots =
+      static_cast<std::size_t>(total / config.slot_duration);
+  PacketFateTrace trace(config.slot_duration);
+  trace.reserve(num_slots);
+  for (std::size_t i = 0; i < num_slots; ++i) {
+    const Time mid = static_cast<Time>(i) * config.slot_duration +
+                     config.slot_duration / 2;
+    TraceSlot slot;
+    const double true_snr = channel.snr_db_at(mid);
+    slot.snr_db = static_cast<float>(
+        true_snr + fate_rng.normal(0.0, config.snr_noise_db));
+    slot.moving = channel.moving_at(mid);
+    for (int r = 0; r < mac::kNumRates; ++r) {
+      slot.delivered[static_cast<std::size_t>(r)] = fate_rng.bernoulli(
+          delivery_probability(true_snr, r, config.payload_bytes));
+    }
+    trace.push_back(slot);
+  }
+  return trace;
+}
+
+}  // namespace sh::channel

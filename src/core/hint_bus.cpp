@@ -1,0 +1,40 @@
+#include "core/hint_bus.h"
+
+#include <algorithm>
+
+namespace sh::core {
+
+HintBus::SubscriptionId HintBus::subscribe(HintType type, Callback cb) {
+  subs_.push_back(Subscription{next_id_, false, type, std::move(cb)});
+  return next_id_++;
+}
+
+HintBus::SubscriptionId HintBus::subscribe_all(Callback cb) {
+  subs_.push_back(
+      Subscription{next_id_, true, HintType::kMovement, std::move(cb)});
+  return next_id_++;
+}
+
+void HintBus::unsubscribe(SubscriptionId id) {
+  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                             [id](const Subscription& s) { return s.id == id; }),
+              subs_.end());
+}
+
+void HintBus::publish(const Hint& hint) {
+  store_.update(hint);
+  // Iterate over a snapshot of ids so callbacks may subscribe/unsubscribe.
+  std::vector<SubscriptionId> ids;
+  ids.reserve(subs_.size());
+  for (const auto& s : subs_) ids.push_back(s.id);
+  for (const auto id : ids) {
+    const auto it =
+        std::find_if(subs_.begin(), subs_.end(),
+                     [id](const Subscription& s) { return s.id == id; });
+    if (it == subs_.end()) continue;
+    if (!it->all_types && it->type != hint.type) continue;
+    it->cb(hint);
+  }
+}
+
+}  // namespace sh::core

@@ -1,0 +1,47 @@
+// HintBus: the local publish/subscribe spine of the hint-aware architecture
+// (paper Fig 2-1). Sensor services publish hints; protocol layers at any
+// level of the stack subscribe. The bus also maintains a HintStore so late
+// subscribers can read the current state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/hint_store.h"
+#include "core/hints.h"
+
+namespace sh::core {
+
+class HintBus {
+ public:
+  using Callback = std::function<void(const Hint&)>;
+  using SubscriptionId = std::uint64_t;
+
+  /// Subscribes to hints of one type (from any source node).
+  SubscriptionId subscribe(HintType type, Callback cb);
+  /// Subscribes to every hint regardless of type.
+  SubscriptionId subscribe_all(Callback cb);
+  /// Removes a subscription; unknown ids are ignored.
+  void unsubscribe(SubscriptionId id);
+
+  /// Records the hint in the store, then notifies matching subscribers in
+  /// subscription order.
+  void publish(const Hint& hint);
+
+  const HintStore& store() const noexcept { return store_; }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    bool all_types;
+    HintType type;
+    Callback cb;
+  };
+
+  std::vector<Subscription> subs_;
+  SubscriptionId next_id_ = 1;
+  HintStore store_;
+};
+
+}  // namespace sh::core

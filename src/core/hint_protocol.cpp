@@ -1,0 +1,123 @@
+#include "core/hint_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sh::core {
+namespace {
+
+bool known_type(std::uint8_t byte) noexcept {
+  switch (static_cast<HintType>(byte)) {
+    case HintType::kMovement:
+    case HintType::kHeading:
+    case HintType::kSpeed:
+    case HintType::kPositionX:
+    case HintType::kPositionY:
+    case HintType::kEnvironmentActivity:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint8_t set_movement_bit(std::uint8_t flags, bool moving) noexcept {
+  if (moving) return flags | kMovementHintFlagBit;
+  return flags & static_cast<std::uint8_t>(~kMovementHintFlagBit);
+}
+
+bool movement_bit(std::uint8_t flags) noexcept {
+  return (flags & kMovementHintFlagBit) != 0;
+}
+
+std::uint8_t quantize_hint(HintType type, double value) noexcept {
+  switch (type) {
+    case HintType::kMovement:
+    case HintType::kEnvironmentActivity:
+      return value != 0.0 ? 1 : 0;
+    case HintType::kHeading: {
+      const double norm = normalize_heading(value);
+      const auto q = static_cast<int>(std::lround(norm * 256.0 / 360.0));
+      return static_cast<std::uint8_t>(q & 0xFF);
+    }
+    case HintType::kSpeed: {
+      const double clamped = std::clamp(value, 0.0, 127.5);
+      return static_cast<std::uint8_t>(std::lround(clamped * 2.0));
+    }
+    case HintType::kPositionX:
+    case HintType::kPositionY: {
+      const double clamped = std::clamp(value, -127.0, 127.0);
+      return static_cast<std::uint8_t>(std::lround(clamped) + 128);
+    }
+  }
+  return 0;
+}
+
+double dequantize_hint(HintType type, std::uint8_t wire) noexcept {
+  switch (type) {
+    case HintType::kMovement:
+    case HintType::kEnvironmentActivity:
+      return wire != 0 ? 1.0 : 0.0;
+    case HintType::kHeading:
+      return static_cast<double>(wire) * 360.0 / 256.0;
+    case HintType::kSpeed:
+      return static_cast<double>(wire) / 2.0;
+    case HintType::kPositionX:
+    case HintType::kPositionY:
+      return static_cast<double>(wire) - 128.0;
+  }
+  return 0.0;
+}
+
+double quantization_error_bound(HintType type) noexcept {
+  switch (type) {
+    case HintType::kMovement: return 0.0;
+    case HintType::kEnvironmentActivity: return 0.0;
+    case HintType::kHeading: return 360.0 / 256.0 / 2.0;  // ~0.7 degrees
+    case HintType::kSpeed: return 0.25;
+    case HintType::kPositionX:
+    case HintType::kPositionY: return 0.5;
+  }
+  return 0.0;
+}
+
+std::size_t hint_block_size(std::size_t count) noexcept {
+  return 2 + 2 * count;  // magic + count + (type, value) pairs
+}
+
+std::vector<std::uint8_t> encode_hint_block(std::span<const Hint> hints) {
+  std::vector<std::uint8_t> out;
+  out.reserve(hint_block_size(hints.size()));
+  out.push_back(kHintBlockMagic);
+  out.push_back(static_cast<std::uint8_t>(std::min<std::size_t>(hints.size(), 255)));
+  std::size_t emitted = 0;
+  for (const auto& hint : hints) {
+    if (emitted == 255) break;  // count field is one byte
+    out.push_back(static_cast<std::uint8_t>(hint.type));
+    out.push_back(quantize_hint(hint.type, hint.value));
+    ++emitted;
+  }
+  return out;
+}
+
+std::optional<std::vector<Hint>> decode_hint_block(
+    std::span<const std::uint8_t> bytes, Time timestamp, sim::NodeId source) {
+  if (bytes.size() < 2) return std::nullopt;
+  if (bytes[0] != kHintBlockMagic) return std::nullopt;
+  const std::size_t count = bytes[1];
+  if (bytes.size() < hint_block_size(count)) return std::nullopt;
+
+  std::vector<Hint> hints;
+  hints.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t type_byte = bytes[2 + 2 * i];
+    const std::uint8_t value_byte = bytes[3 + 2 * i];
+    if (!known_type(type_byte)) return std::nullopt;
+    const auto type = static_cast<HintType>(type_byte);
+    hints.push_back(
+        Hint{type, dequantize_hint(type, value_byte), timestamp, source});
+  }
+  return hints;
+}
+
+}  // namespace sh::core

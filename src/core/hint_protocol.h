@@ -1,0 +1,72 @@
+// The Hint Protocol wire format (paper §2.3).
+//
+// Three mechanisms, mirroring the paper:
+//  1. A single reserved bit in standard 802.11 control frames (ACK / probe
+//     request) carries the boolean movement hint for free.
+//  2. A two-byte (hintType, hintVal) field carries one general hint; values
+//     are quantized per type to fit one byte.
+//  3. A piggyback block — a small header plus a list of two-byte hints —
+//     rides at the end of data frames, or in a standalone hint frame when a
+//     node has nothing else to send. The block starts with a magic byte so
+//     hint-oblivious legacy receivers never misparse it (they ignore
+//     trailing bytes), and decoding is bounds-checked and fails closed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/hints.h"
+
+namespace sh::core {
+
+// ---------------------------------------------------------------------------
+// Mechanism 1: boolean movement hint in a reserved frame-control bit.
+
+/// Bit position used inside a frame-control flags byte.
+inline constexpr std::uint8_t kMovementHintFlagBit = 0x40;
+
+/// Sets/clears the movement bit in a flags byte.
+std::uint8_t set_movement_bit(std::uint8_t flags, bool moving) noexcept;
+/// Reads the movement bit from a flags byte.
+bool movement_bit(std::uint8_t flags) noexcept;
+
+// ---------------------------------------------------------------------------
+// Mechanism 2: one-byte quantization for each hint type.
+
+/// Quantizes a hint value to its one-byte wire form. Heading maps [0,360) to
+/// [0,256); speed uses 0.5 m/s steps saturating at 127.5 m/s; movement is
+/// 0/1; position coordinates use metres offset by +128 saturating at ±127.
+std::uint8_t quantize_hint(HintType type, double value) noexcept;
+/// Inverse of quantize_hint (up to quantization error).
+double dequantize_hint(HintType type, std::uint8_t wire) noexcept;
+
+/// Worst-case absolute quantization error for a type (used by tests and by
+/// consumers that need error bounds, e.g. the CTE metric).
+double quantization_error_bound(HintType type) noexcept;
+
+// ---------------------------------------------------------------------------
+// Mechanism 3: piggyback block / standalone hint frame payload.
+
+inline constexpr std::uint8_t kHintBlockMagic = 0xB7;
+
+struct WireHint {
+  HintType type;
+  std::uint8_t value;
+};
+
+/// Encodes hints into a piggyback block: [magic][count][type val]...
+std::vector<std::uint8_t> encode_hint_block(std::span<const Hint> hints);
+
+/// Decodes a piggyback block. Returns nullopt on any malformed input (bad
+/// magic, truncated list, unknown hint type). `timestamp` and `source` stamp
+/// the decoded hints, since the wire format carries neither (the receiver
+/// knows both from the enclosing frame).
+std::optional<std::vector<Hint>> decode_hint_block(
+    std::span<const std::uint8_t> bytes, Time timestamp, sim::NodeId source);
+
+/// Encoded size of a block carrying `count` hints.
+std::size_t hint_block_size(std::size_t count) noexcept;
+
+}  // namespace sh::core

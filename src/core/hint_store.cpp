@@ -1,0 +1,41 @@
+#include "core/hint_store.h"
+
+namespace sh::core {
+
+void HintStore::update(const Hint& hint) {
+  const auto key = std::make_pair(hint.source, hint.type);
+  const auto it = hints_.find(key);
+  if (it != hints_.end() && it->second.timestamp > hint.timestamp) return;
+  hints_[key] = hint;
+}
+
+std::optional<Hint> HintStore::latest(sim::NodeId source, HintType type) const {
+  const auto it = hints_.find(std::make_pair(source, type));
+  if (it == hints_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Hint> HintStore::fresh(sim::NodeId source, HintType type,
+                                     Time now, Duration max_age) const {
+  auto hint = latest(source, type);
+  if (!hint || now - hint->timestamp > max_age) return std::nullopt;
+  return hint;
+}
+
+bool HintStore::is_moving(sim::NodeId source, Time now, Duration max_age,
+                          bool fallback) const {
+  const auto hint = fresh(source, HintType::kMovement, now, max_age);
+  return hint ? hint->as_bool() : fallback;
+}
+
+void HintStore::forget(sim::NodeId source) {
+  for (auto it = hints_.begin(); it != hints_.end();) {
+    if (it->first.first == source) {
+      it = hints_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sh::core

@@ -1,0 +1,45 @@
+// HintStore: the latest hint of each type per source node, with freshness
+// queries. Protocols consult the store rather than tracking hints themselves,
+// so staleness policy (how old may a hint be before we fall back to a
+// default?) lives in one place.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/hints.h"
+
+namespace sh::core {
+
+class HintStore {
+ public:
+  /// Records `hint`, replacing any older hint of the same (source, type).
+  /// Hints older than the stored one are ignored (out-of-order delivery).
+  void update(const Hint& hint);
+
+  /// Latest hint of `type` from `source`, if any was ever recorded.
+  std::optional<Hint> latest(sim::NodeId source, HintType type) const;
+
+  /// Latest hint, but only if generated within `max_age` of `now`.
+  std::optional<Hint> fresh(sim::NodeId source, HintType type, Time now,
+                            Duration max_age) const;
+
+  /// Convenience for the most common query: is `source` moving? Returns
+  /// `fallback` when no sufficiently fresh movement hint exists — a
+  /// hint-oblivious legacy neighbor simply looks like the fallback state.
+  bool is_moving(sim::NodeId source, Time now, Duration max_age,
+                 bool fallback = false) const;
+
+  /// Drops every stored hint (e.g. on disassociation).
+  void clear() { hints_.clear(); }
+  /// Drops hints from one node.
+  void forget(sim::NodeId source);
+
+  std::size_t size() const noexcept { return hints_.size(); }
+
+ private:
+  std::map<std::pair<sim::NodeId, HintType>, Hint> hints_;
+};
+
+}  // namespace sh::core

@@ -1,0 +1,32 @@
+#include "core/hints.h"
+
+#include <cmath>
+
+namespace sh::core {
+
+std::string_view hint_type_name(HintType type) noexcept {
+  switch (type) {
+    case HintType::kMovement: return "movement";
+    case HintType::kHeading: return "heading";
+    case HintType::kSpeed: return "speed";
+    case HintType::kPositionX: return "position-x";
+    case HintType::kPositionY: return "position-y";
+    case HintType::kEnvironmentActivity: return "environment-activity";
+  }
+  return "unknown";
+}
+
+double normalize_heading(double degrees) noexcept {
+  double d = std::fmod(degrees, 360.0);
+  if (d < 0.0) d += 360.0;
+  return d;
+}
+
+double heading_difference(double a_degrees, double b_degrees) noexcept {
+  const double a = normalize_heading(a_degrees);
+  const double b = normalize_heading(b_degrees);
+  const double diff = std::fabs(a - b);
+  return diff > 180.0 ? 360.0 - diff : diff;
+}
+
+}  // namespace sh::core

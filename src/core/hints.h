@@ -1,0 +1,59 @@
+// Sensor hint types: the vocabulary of the hint-aware architecture (paper
+// Chapter 2). A hint is a (type, value) observation about a node's mobility
+// state, timestamped and attributed to its source node.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/ids.h"
+#include "util/time.h"
+
+namespace sh::core {
+
+/// Wire-stable hint type codes (one byte on the air, paper §2.3).
+enum class HintType : std::uint8_t {
+  kMovement = 1,   ///< Boolean: device is in motion (paper §2.2.1).
+  kHeading = 2,    ///< Degrees clockwise from magnetic north, [0, 360).
+  kSpeed = 3,      ///< Metres per second.
+  kPositionX = 4,  ///< Local planar coordinates (metres); split across two
+  kPositionY = 5,  ///< hints so each fits the 1-byte wire value field.
+  /// Boolean: the surroundings are active (pedestrians, passing cars) even
+  /// though the device itself is still — detected from microphone noise
+  /// variation (paper §5.6). A busy environment destabilizes the channel
+  /// much like self-motion does.
+  kEnvironmentActivity = 6,
+};
+
+std::string_view hint_type_name(HintType type) noexcept;
+
+struct Hint {
+  HintType type = HintType::kMovement;
+  double value = 0.0;
+  Time timestamp = 0;               ///< When the hint was generated.
+  sim::NodeId source = sim::kInvalidNode;
+
+  static Hint movement(bool moving, Time t, sim::NodeId src) {
+    return Hint{HintType::kMovement, moving ? 1.0 : 0.0, t, src};
+  }
+  static Hint heading(double degrees, Time t, sim::NodeId src) {
+    return Hint{HintType::kHeading, degrees, t, src};
+  }
+  static Hint speed(double mps, Time t, sim::NodeId src) {
+    return Hint{HintType::kSpeed, mps, t, src};
+  }
+  static Hint environment_activity(bool busy, Time t, sim::NodeId src) {
+    return Hint{HintType::kEnvironmentActivity, busy ? 1.0 : 0.0, t, src};
+  }
+
+  bool as_bool() const noexcept { return value != 0.0; }
+};
+
+/// Normalizes a heading into [0, 360).
+double normalize_heading(double degrees) noexcept;
+
+/// Absolute angular difference between two headings in [0, 180].
+/// 180 means the nodes are headed in opposite directions (Table 5.1).
+double heading_difference(double a_degrees, double b_degrees) noexcept;
+
+}  // namespace sh::core

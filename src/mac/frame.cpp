@@ -1,0 +1,71 @@
+#include "mac/frame.h"
+
+namespace sh::mac {
+
+Frame make_control_frame(FrameType type, sim::NodeId source,
+                         sim::NodeId destination, bool moving) {
+  Frame frame;
+  frame.type = type;
+  frame.source = source;
+  frame.destination = destination;
+  frame.flags = core::set_movement_bit(0, moving);
+  return frame;
+}
+
+Frame make_data_frame(sim::NodeId source, sim::NodeId destination,
+                      std::vector<std::uint8_t> payload,
+                      std::span<const core::Hint> hints) {
+  Frame frame;
+  frame.type = FrameType::kData;
+  frame.source = source;
+  frame.destination = destination;
+  frame.payload = std::move(payload);
+  if (!hints.empty()) {
+    frame.hint_block = core::encode_hint_block(hints);
+    // Mirror the movement hint into the flag bit too, so even receivers
+    // that only parse headers stay informed.
+    for (const auto& hint : hints) {
+      if (hint.type == core::HintType::kMovement) {
+        frame.flags = core::set_movement_bit(frame.flags, hint.as_bool());
+      }
+    }
+  }
+  return frame;
+}
+
+Frame make_hint_frame(sim::NodeId source, std::span<const core::Hint> hints) {
+  Frame frame;
+  frame.type = FrameType::kHint;
+  frame.source = source;
+  frame.hint_block = core::encode_hint_block(hints);
+  return frame;
+}
+
+std::vector<core::Hint> extract_hints(const Frame& frame, Time rx_time) {
+  std::vector<core::Hint> hints;
+  // Mechanism 1: the flag bit. Only meaningful when set — a clear bit on a
+  // legacy frame is indistinguishable from "not running the hint protocol",
+  // so a movement=false hint travels via the block, not the bit.
+  if (core::movement_bit(frame.flags)) {
+    hints.push_back(core::Hint::movement(true, rx_time, frame.source));
+  }
+  // Mechanisms 2 and 3: the hint block.
+  if (!frame.hint_block.empty()) {
+    const auto decoded =
+        core::decode_hint_block(frame.hint_block, rx_time, frame.source);
+    if (decoded) {
+      // Block contents are authoritative; replace the flag-derived hint if
+      // the block also carries movement.
+      for (const auto& hint : *decoded) {
+        if (hint.type == core::HintType::kMovement && !hints.empty() &&
+            hints.front().type == core::HintType::kMovement) {
+          hints.clear();
+        }
+      }
+      hints.insert(hints.end(), decoded->begin(), decoded->end());
+    }
+  }
+  return hints;
+}
+
+}  // namespace sh::mac

@@ -1,0 +1,69 @@
+// 802.11 frame representation with Hint Protocol extensions (paper §2.3).
+//
+// The paper proposes three carriage mechanisms, all implemented here on a
+// simplified-but-faithful frame layout:
+//  * the movement bit in a reserved frame-control flag (ACKs, probe
+//    requests — zero bytes of overhead);
+//  * a piggyback hint block appended after the payload of data frames
+//    (legacy receivers treat it as padding and ignore it);
+//  * a standalone HINT frame for nodes with nothing else to send,
+//    recognized only by hint-protocol speakers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/hint_protocol.h"
+#include "core/hints.h"
+#include "sim/ids.h"
+
+namespace sh::mac {
+
+enum class FrameType : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kProbeRequest = 2,
+  kProbeResponse = 3,
+  kHint = 4,  ///< Standalone hint frame (hint-protocol speakers only).
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  sim::NodeId source = sim::kInvalidNode;
+  sim::NodeId destination = sim::kInvalidNode;
+  std::uint8_t flags = 0;  ///< Frame-control flags incl. the movement bit.
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> hint_block;  ///< Piggybacked hints (may be empty).
+
+  /// Total on-air MAC payload size in bytes (payload + piggyback block).
+  std::size_t body_bytes() const noexcept {
+    return payload.size() + hint_block.size();
+  }
+};
+
+/// Builders covering the paper's three mechanisms.
+
+/// A control frame (ACK / probe request) carrying the boolean movement hint
+/// in its reserved flag bit.
+Frame make_control_frame(FrameType type, sim::NodeId source,
+                         sim::NodeId destination, bool moving);
+
+/// A data frame with hints piggybacked after the payload.
+Frame make_data_frame(sim::NodeId source, sim::NodeId destination,
+                      std::vector<std::uint8_t> payload,
+                      std::span<const core::Hint> hints);
+
+/// A standalone hint frame (used when the node has no data to send).
+Frame make_hint_frame(sim::NodeId source, std::span<const core::Hint> hints);
+
+/// Receiver-side extraction: every hint a frame carries, stamped with
+/// `rx_time` and the frame's source. Control frames yield the movement bit;
+/// data/hint frames additionally decode the hint block. Legacy frames (no
+/// block, no flag) yield an empty vector; malformed blocks are dropped
+/// silently (fail closed), since a legacy sender's padding could collide
+/// with anything.
+std::vector<core::Hint> extract_hints(const Frame& frame, Time rx_time);
+
+}  // namespace sh::mac

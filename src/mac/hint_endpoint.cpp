@@ -1,0 +1,64 @@
+#include "mac/hint_endpoint.h"
+
+#include <cmath>
+
+namespace sh::mac {
+namespace {
+
+/// A hint is "changed" when its quantized wire form differs — sub-quantum
+/// wiggle is not worth a transmission.
+bool wire_equal(const core::Hint& a, double sent_value) {
+  return core::quantize_hint(a.type, a.value) ==
+         core::quantize_hint(a.type, sent_value);
+}
+
+}  // namespace
+
+HintEndpoint::HintEndpoint(sim::NodeId self, Params params)
+    : self_(self), params_(params) {}
+
+void HintEndpoint::on_local_hint(const core::Hint& hint) {
+  auto& tracked = tracked_[hint.type];
+  if (tracked.ever_sent && hint.timestamp < tracked.latest.timestamp) return;
+  tracked.latest = hint;
+  tracked.latest.source = self_;
+}
+
+bool HintEndpoint::has_pending_change() const noexcept {
+  for (const auto& [type, tracked] : tracked_) {
+    if (!tracked.ever_sent || !wire_equal(tracked.latest, tracked.sent_value))
+      return true;
+  }
+  return false;
+}
+
+std::vector<core::Hint> HintEndpoint::collect_due(Time now) {
+  std::vector<core::Hint> due;
+  for (auto& [type, tracked] : tracked_) {
+    const bool changed =
+        !tracked.ever_sent || !wire_equal(tracked.latest, tracked.sent_value);
+    const bool stale = now - tracked.sent_at >= params_.refresh_interval;
+    if (!changed && !stale) continue;
+    due.push_back(tracked.latest);
+    tracked.ever_sent = true;
+    tracked.sent_value = tracked.latest.value;
+    tracked.sent_at = now;
+  }
+  return due;
+}
+
+std::vector<core::Hint> HintEndpoint::hints_for_data_frame(Time now) {
+  last_data_frame_ = now;
+  return collect_due(now);
+}
+
+std::optional<Frame> HintEndpoint::maybe_standalone_frame(Time now) {
+  if (!has_pending_change()) return std::nullopt;
+  if (now - last_data_frame_ < params_.standalone_after_idle)
+    return std::nullopt;
+  const auto due = collect_due(now);
+  if (due.empty()) return std::nullopt;
+  return make_hint_frame(self_, due);
+}
+
+}  // namespace sh::mac

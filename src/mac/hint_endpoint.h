@@ -1,0 +1,63 @@
+// Sender-side Hint Protocol endpoint (paper §2.3).
+//
+// Decides *when* hints travel: piggybacked opportunistically on every
+// outgoing data frame when they changed (or a refresh interval elapsed),
+// and via a standalone HINT frame when the node has had nothing to send for
+// a while but holds an undelivered change. Nodes running this endpoint
+// coexist with legacy neighbors: piggybacked blocks look like padding, and
+// standalone HINT frames are simply not understood.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/hints.h"
+#include "mac/frame.h"
+
+namespace sh::mac {
+
+class HintEndpoint {
+ public:
+  struct Params {
+    /// Re-send unchanged hints this often (loss insurance + freshness).
+    Duration refresh_interval = kSecond;
+    /// With a pending undelivered change and no data frame for this long,
+    /// emit a standalone hint frame.
+    Duration standalone_after_idle = 200 * kMillisecond;
+  };
+
+  explicit HintEndpoint(sim::NodeId self) : HintEndpoint(self, Params{}) {}
+  HintEndpoint(sim::NodeId self, Params params);
+
+  /// Feeds a locally generated hint (wire one HintBus subscription here).
+  void on_local_hint(const core::Hint& hint);
+
+  /// Called when a data frame is about to be sent at `now`: the hints to
+  /// piggyback on it (possibly none). Marks them as delivered.
+  std::vector<core::Hint> hints_for_data_frame(Time now);
+
+  /// Called periodically (or when idle): a standalone hint frame if one is
+  /// warranted at `now`, else nullopt. Marks carried hints as delivered.
+  std::optional<Frame> maybe_standalone_frame(Time now);
+
+  /// True if some hint value has changed since it last went on the air.
+  bool has_pending_change() const noexcept;
+
+ private:
+  struct Tracked {
+    core::Hint latest;
+    bool ever_sent = false;
+    double sent_value = 0.0;
+    Time sent_at = 0;
+  };
+
+  std::vector<core::Hint> collect_due(Time now);
+
+  sim::NodeId self_;
+  Params params_;
+  std::map<core::HintType, Tracked> tracked_;
+  Time last_data_frame_ = 0;
+};
+
+}  // namespace sh::mac

@@ -1,0 +1,30 @@
+#include "mac/rates.h"
+
+#include <cassert>
+
+namespace sh::mac {
+
+const std::array<RateInfo, kNumRates>& rate_table() noexcept {
+  // SNR thresholds follow the commonly used 802.11a receiver-sensitivity
+  // ladder (about 3 dB between modulation steps, 2-3 dB between coding-rate
+  // steps). They are anchors for the channel model, not claims about any
+  // particular chipset.
+  static const std::array<RateInfo, kNumRates> kTable = {{
+      {6.0, 24, 6.0, "6M"},    // BPSK 1/2
+      {9.0, 36, 7.5, "9M"},    // BPSK 3/4
+      {12.0, 48, 9.0, "12M"},  // QPSK 1/2
+      {18.0, 72, 10.5, "18M"}, // QPSK 3/4
+      {24.0, 96, 13.0, "24M"}, // 16-QAM 1/2
+      {36.0, 144, 16.5, "36M"},// 16-QAM 3/4
+      {48.0, 192, 20.5, "48M"},// 64-QAM 2/3
+      {54.0, 216, 23.5, "54M"},// 64-QAM 3/4
+  }};
+  return kTable;
+}
+
+const RateInfo& rate(RateIndex index) {
+  assert(valid_rate(index));
+  return rate_table()[static_cast<std::size_t>(index)];
+}
+
+}  // namespace sh::mac

@@ -1,0 +1,45 @@
+// 802.11a OFDM bit-rate table.
+//
+// The paper's traces cycle through the eight 802.11a rates (6, 9, 12, 18, 24,
+// 36, 48, 54 Mbit/s). Everything in the library addresses rates by index into
+// this table, matching the paper's "bit rate index" convention (index 0 is
+// the slowest rate).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sh::mac {
+
+/// Index into the 802.11a rate table; 0 = 6 Mbit/s ... 7 = 54 Mbit/s.
+using RateIndex = int;
+
+inline constexpr int kNumRates = 8;
+
+struct RateInfo {
+  double mbps;               ///< PHY data rate in Mbit/s.
+  int bits_per_symbol;       ///< Data bits per OFDM symbol (4 us symbols).
+  double min_snr_db;         ///< Approximate SNR needed for ~90% delivery
+                             ///< of a 1000-byte frame (AWGN ballpark; the
+                             ///< channel model adds its own spread).
+  std::string_view name;     ///< Human-readable label, e.g. "54M".
+};
+
+/// The 802.11a rate set in increasing-rate order.
+const std::array<RateInfo, kNumRates>& rate_table() noexcept;
+
+/// Info for one rate; `index` must be in [0, kNumRates).
+const RateInfo& rate(RateIndex index);
+
+/// Index of the fastest / slowest rate.
+constexpr RateIndex fastest_rate() noexcept { return kNumRates - 1; }
+constexpr RateIndex slowest_rate() noexcept { return 0; }
+
+/// True if `index` addresses a valid table entry.
+constexpr bool valid_rate(RateIndex index) noexcept {
+  return index >= 0 && index < kNumRates;
+}
+
+}  // namespace sh::mac

@@ -1,0 +1,160 @@
+#include "mesh/mesh_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace sh::mesh {
+namespace {
+
+constexpr Duration kTick = 100 * kMillisecond;
+
+/// ETX shortest path by Dijkstra over a delivery-probability matrix;
+/// returns the expected transmission count of the best src->dst route under
+/// `cost_probs`, with the path chosen using `route_probs`. Probabilities
+/// below `floor` are unusable. Returns +inf when no route exists.
+double route_cost(const std::vector<double>& route_probs,
+                  const std::vector<double>& cost_probs, int n, int src,
+                  int dst, double floor) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(n), inf);
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (int v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double p =
+          route_probs[static_cast<std::size_t>(u * n + v)];
+      if (p < floor) continue;
+      const double nd = d + 1.0 / p;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        parent[static_cast<std::size_t>(v)] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(dst)] == inf) return inf;
+  // Charge the chosen path at the cost probabilities. Hops are clamped at
+  // 20 expected transmissions: real link layers abandon a frame after a
+  // bounded retry chain, so a mis-ranked dead hop costs a bounded (large)
+  // amount rather than an unbounded one.
+  double cost = 0.0;
+  for (int v = dst; v != src; v = parent[static_cast<std::size_t>(v)]) {
+    const int u = parent[static_cast<std::size_t>(v)];
+    const double p = cost_probs[static_cast<std::size_t>(u * n + v)];
+    cost += 1.0 / std::max(p, 0.05);
+  }
+  return cost;
+}
+
+}  // namespace
+
+MeshExperimentResult run_mesh_experiment(ProbingStrategy strategy,
+                                         const MeshExperimentConfig& config) {
+  MeshNetwork net(config.net);
+  const int n = config.net.num_nodes;
+  assert(config.route_endpoints <= n);
+
+  // Per ordered link: sliding-window estimate + next probe time.
+  std::vector<util::SlidingWindowRate> estimates(
+      static_cast<std::size_t>(n * n),
+      util::SlidingWindowRate(static_cast<std::size_t>(config.estimator_window)));
+  std::vector<Time> next_probe(static_cast<std::size_t>(n * n), 0);
+
+  const auto slow_interval =
+      static_cast<Duration>(1e6 / config.slow_probes_per_s);
+  const auto fast_interval =
+      static_cast<Duration>(1e6 / config.fast_probes_per_s);
+
+  std::uint64_t probes = 0;
+  util::RunningStats overhead;
+  std::size_t wrong = 0, missed = 0, evaluations = 0;
+  Time next_eval = kSecond;
+
+  for (Time t = 0; t < config.duration; t += kTick) {
+    net.step(kTick);
+
+    // Probing: each ordered link fires per its schedule.
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const auto link = static_cast<std::size_t>(i * n + j);
+        if (net.now() < next_probe[link]) continue;
+        const bool fast =
+            strategy == ProbingStrategy::kFixedFast ||
+            (strategy == ProbingStrategy::kHintAdaptive &&
+             (net.node_moving(i) || net.node_moving(j)));
+        estimates[link].add(net.sample_probe(i, j));
+        ++probes;
+        next_probe[link] = net.now() + (fast ? fast_interval : slow_interval);
+      }
+    }
+
+    if (net.now() < next_eval) continue;
+    next_eval += kSecond;
+
+    // Snapshot probability matrices.
+    std::vector<double> est(static_cast<std::size_t>(n * n), 0.0);
+    std::vector<double> truth(static_cast<std::size_t>(n * n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const auto link = static_cast<std::size_t>(i * n + j);
+        est[link] = estimates[link].full() ? estimates[link].rate() : 0.0;
+        truth[link] = net.true_delivery(i, j);
+      }
+    }
+
+    // Evaluate all static endpoint pairs.
+    const int first_static = config.net.mobile_nodes;
+    for (int a = 0; a < config.route_endpoints; ++a) {
+      for (int b = a + 1; b < config.route_endpoints; ++b) {
+        const int src = first_static + a;
+        const int dst = first_static + b;
+        if (dst >= n) continue;
+        const double optimal = route_cost(truth, truth, n, src, dst,
+                                          config.min_usable_delivery);
+        if (!std::isfinite(optimal)) continue;  // network partition: skip
+        ++evaluations;
+        const double chosen = route_cost(est, truth, n, src, dst,
+                                         config.min_usable_delivery);
+        if (!std::isfinite(chosen)) {
+          ++missed;
+          continue;
+        }
+        const double rel = chosen / optimal - 1.0;
+        overhead.add(std::max(0.0, rel));
+        if (rel > 1e-9) ++wrong;
+      }
+    }
+  }
+
+  MeshExperimentResult result;
+  result.probes_per_node_per_s =
+      static_cast<double>(probes) /
+      (static_cast<double>(n) * to_seconds(config.duration));
+  result.mean_route_overhead = overhead.mean();
+  result.evaluations = evaluations;
+  if (evaluations > 0) {
+    result.wrong_route_fraction =
+        static_cast<double>(wrong) / static_cast<double>(evaluations);
+    result.missed_route_fraction =
+        static_cast<double>(missed) / static_cast<double>(evaluations);
+  }
+  return result;
+}
+
+}  // namespace sh::mesh

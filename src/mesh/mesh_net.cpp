@@ -1,0 +1,97 @@
+#include "mesh/mesh_net.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "channel/snr_model.h"
+
+namespace sh::mesh {
+
+MeshNetwork::MeshNetwork(MeshConfig config)
+    : config_(config),
+      rng_(config.seed),
+      fate_rng_(config.seed ^ 0xFA7E0001ULL) {
+  assert(config_.num_nodes >= 2);
+  assert(config_.mobile_nodes >= 0 &&
+         config_.mobile_nodes <= config_.num_nodes);
+  nodes_.resize(static_cast<std::size_t>(config_.num_nodes));
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    auto& node = nodes_[static_cast<std::size_t>(i)];
+    node.x = rng_.uniform(0.0, config_.area_m);
+    node.y = rng_.uniform(0.0, config_.area_m);
+    node.mobile = i < config_.mobile_nodes;
+    if (node.mobile) pick_new_waypoint(node);
+  }
+  const int pairs = config_.num_nodes * (config_.num_nodes - 1) / 2;
+  shadows_.reserve(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    shadows_.push_back(PairShadow{
+        channel::ShadowingProcess(rng_, config_.shadow_sigma_db, 6.0), 0.0});
+  }
+}
+
+std::size_t MeshNetwork::pair_index(int i, int j) const {
+  assert(i != j);
+  if (i > j) std::swap(i, j);
+  // Index into the upper triangle enumerated row by row.
+  const int n = config_.num_nodes;
+  return static_cast<std::size_t>(i * n - i * (i + 1) / 2 + (j - i - 1));
+}
+
+void MeshNetwork::pick_new_waypoint(Node& node) {
+  node.target_x = rng_.uniform(0.0, config_.area_m);
+  node.target_y = rng_.uniform(0.0, config_.area_m);
+}
+
+bool MeshNetwork::node_moving(int node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).mobile;
+}
+
+void MeshNetwork::step(Duration dt) {
+  const double dt_s = to_seconds(dt);
+  now_ += dt;
+  for (auto& node : nodes_) {
+    if (!node.mobile) continue;
+    const double dx = node.target_x - node.x;
+    const double dy = node.target_y - node.y;
+    const double dist = std::hypot(dx, dy);
+    const double stride = config_.walk_speed_mps * dt_s;
+    if (dist <= stride) {
+      node.x = node.target_x;
+      node.y = node.target_y;
+      pick_new_waypoint(node);
+    } else {
+      node.x += dx / dist * stride;
+      node.y += dy / dist * stride;
+    }
+  }
+  // Shadowing progress per pair: still links are frozen, links with a
+  // moving endpoint sweep through obstructions at walking rate.
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    for (int j = i + 1; j < config_.num_nodes; ++j) {
+      const bool any_motion = nodes_[static_cast<std::size_t>(i)].mobile ||
+                              nodes_[static_cast<std::size_t>(j)].mobile;
+      shadows_[pair_index(i, j)].progress_s +=
+          dt_s * (any_motion ? 1.0 : 0.01);
+    }
+  }
+}
+
+double MeshNetwork::true_delivery(int i, int j) const {
+  const auto& a = nodes_.at(static_cast<std::size_t>(i));
+  const auto& b = nodes_.at(static_cast<std::size_t>(j));
+  const double dist = std::max(1.0, std::hypot(a.x - b.x, a.y - b.y));
+  const auto& shadow = shadows_[pair_index(i, j)];
+  const double snr =
+      config_.snr_at_ref_db -
+      10.0 * config_.path_loss_exponent *
+          std::log10(dist / config_.reference_m) +
+      shadow.process.offset_db(shadow.progress_s);
+  return channel::delivery_probability(snr, mac::slowest_rate());
+}
+
+bool MeshNetwork::sample_probe(int i, int j) {
+  return fate_rng_.bernoulli(true_delivery(i, j));
+}
+
+}  // namespace sh::mesh

@@ -1,0 +1,75 @@
+// Multi-node mesh network substrate (the Chapter 4 setting).
+//
+// A handful of mesh nodes on a plane — most bolted down, a few carried
+// around — with pairwise link delivery probabilities that derive from
+// distance plus a per-pair shadowing process whose progress is driven by
+// endpoint motion (a link between two still nodes is stable; carrying
+// either endpoint destabilizes it). This is the environment in which nodes
+// probe neighbors, estimate delivery probabilities, and pick ETX routes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/fading.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sh::mesh {
+
+struct MeshConfig {
+  int num_nodes = 12;
+  int mobile_nodes = 3;      ///< Nodes 0..mobile_nodes-1 walk; rest static.
+  double area_m = 320.0;
+  double walk_speed_mps = 1.4;
+  /// Link budget: SNR at reference distance for 6M probes.
+  double snr_at_ref_db = 22.0;
+  double reference_m = 30.0;
+  double path_loss_exponent = 3.2;
+  double shadow_sigma_db = 4.0;
+  std::uint64_t seed = 1;
+};
+
+class MeshNetwork {
+ public:
+  explicit MeshNetwork(MeshConfig config);
+
+  /// Advances node motion and link shadowing by `dt`.
+  void step(Duration dt);
+
+  Time now() const noexcept { return now_; }
+  int num_nodes() const noexcept { return config_.num_nodes; }
+  bool node_moving(int node) const;
+  double node_x(int node) const { return nodes_.at(static_cast<std::size_t>(node)).x; }
+  double node_y(int node) const { return nodes_.at(static_cast<std::size_t>(node)).y; }
+
+  /// True delivery probability of a 6M probe on link i->j right now.
+  double true_delivery(int i, int j) const;
+
+  /// Samples one probe fate on link i->j (uses the network's fate stream).
+  bool sample_probe(int i, int j);
+
+ private:
+  struct Node {
+    double x = 0.0, y = 0.0;
+    bool mobile = false;
+    double target_x = 0.0, target_y = 0.0;  ///< Random-waypoint target.
+  };
+  struct PairShadow {
+    channel::ShadowingProcess process;
+    double progress_s = 0.0;
+  };
+
+  std::size_t pair_index(int i, int j) const;
+  void pick_new_waypoint(Node& node);
+
+  MeshConfig config_;
+  util::Rng rng_;
+  util::Rng fate_rng_;
+  Time now_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<PairShadow> shadows_;  ///< One per unordered pair.
+};
+
+}  // namespace sh::mesh

@@ -1,0 +1,51 @@
+#include "phy/phy_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mac/airtime.h"
+
+namespace sh::phy {
+
+CyclicPrefixOption choose_cyclic_prefix(bool outdoors) noexcept {
+  if (outdoors) return CyclicPrefixOption{1600, 3.2 / 4.8};
+  return CyclicPrefixOption{800, 3.2 / 4.0};
+}
+
+double isi_delivery_factor(Duration guard_ns, double delay_spread_ns) noexcept {
+  if (delay_spread_ns <= static_cast<double>(guard_ns)) return 1.0;
+  // Uncovered delay spread smears energy across symbols; model the delivery
+  // penalty as exponential in the uncovered fraction of a guard period.
+  const double excess =
+      (delay_spread_ns - static_cast<double>(guard_ns)) /
+      static_cast<double>(guard_ns);
+  return std::exp(-1.5 * excess);
+}
+
+Duration coherence_time(double speed_mps, double carrier_ghz) noexcept {
+  if (speed_mps <= 0.01) return 10 * kSecond;  // Effectively static.
+  const double doppler_hz = speed_mps * carrier_ghz * 1e9 / 299'792'458.0;
+  const double tc_s = 0.423 / doppler_hz;
+  return static_cast<Duration>(tc_s * 1e6);
+}
+
+int max_frame_bytes_for_speed(double speed_mps, mac::RateIndex rate,
+                              double fraction, double carrier_ghz) {
+  const Duration budget = static_cast<Duration>(
+      fraction * static_cast<double>(coherence_time(speed_mps, carrier_ghz)));
+  // Binary search the largest payload whose frame duration fits the budget.
+  int lo = 64;
+  int hi = 2304;  // 802.11 maximum MSDU.
+  if (mac::frame_duration(rate, lo) > budget) return lo;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (mac::frame_duration(rate, mid) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sh::phy

@@ -1,0 +1,44 @@
+// Hint-driven physical-layer parameter policies (paper §5.3).
+//
+// Two policies, both requiring only hints already available:
+//  * Cyclic prefix selection: outdoor environments (detected by GPS lock)
+//    have longer delay spreads; extending the OFDM guard interval trades a
+//    fixed symbol-time overhead for immunity to inter-symbol interference.
+//  * Speed-limited frame sizing: the channel coherence time shrinks with
+//    speed; frames longer than a fraction of it outlive their preamble
+//    channel estimate. The policy caps frame airtime at a fraction of the
+//    coherence time implied by the speed hint.
+#pragma once
+
+#include "mac/rates.h"
+#include "util/time.h"
+
+namespace sh::phy {
+
+struct CyclicPrefixOption {
+  Duration guard_ns;          ///< Guard interval, nanoseconds.
+  double symbol_efficiency;   ///< Useful fraction of the symbol period.
+};
+
+/// Guard-interval choice from the outdoor hint (GPS lock = outdoors).
+/// Standard 802.11a GI is 800 ns over a 4 us symbol; the extended option
+/// doubles the guard, stretching the symbol to 4.8 us (efficiency 2/3 of
+/// 4.8 -> 0.833x of the standard rate).
+CyclicPrefixOption choose_cyclic_prefix(bool outdoors) noexcept;
+
+/// Probability multiplier applied to frame delivery when the channel delay
+/// spread exceeds the guard interval (inter-symbol interference): 1.0 when
+/// covered, decaying with the uncovered excess.
+double isi_delivery_factor(Duration guard_ns, double delay_spread_ns) noexcept;
+
+/// Channel coherence time implied by a speed hint (Clarke model,
+/// Tc ~= 0.423 / f_d with f_d = v * f_c / c).
+Duration coherence_time(double speed_mps, double carrier_ghz = 5.8) noexcept;
+
+/// Largest frame payload (bytes) whose airtime at `rate` stays within
+/// `fraction` of the coherence time at `speed_mps`; at least 64 bytes.
+int max_frame_bytes_for_speed(double speed_mps, mac::RateIndex rate,
+                              double fraction = 0.5,
+                              double carrier_ghz = 5.8);
+
+}  // namespace sh::phy

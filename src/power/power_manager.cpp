@@ -1,0 +1,39 @@
+#include "power/power_manager.h"
+
+#include <cassert>
+
+namespace sh::power {
+
+RadioPowerManager::RadioPowerManager(Params params) : params_(params) {}
+
+RadioState RadioPowerManager::update(Time now, const Inputs& inputs) {
+  assert(now >= last_update_);
+  const double dt_s = to_seconds(now - last_update_);
+  const double draw_mw =
+      state_ == RadioState::kAwake ? params_.awake_mw : params_.sleep_mw;
+  energy_mj_ += draw_mw * dt_s;
+  baseline_mj_ += params_.awake_mw * dt_s;
+  last_update_ = now;
+
+  // Rule 2 dominates: too fast for useful WiFi, sleep even if associated
+  // (the association is about to die anyway).
+  if (inputs.speed_mps > params_.max_useful_speed_mps) {
+    state_ = RadioState::kSleeping;
+    return state_;
+  }
+  // Rule 1: unassociated, nothing found, not moving -> nothing will change
+  // until a movement hint arrives.
+  if (!inputs.associated && !inputs.scan_found_ap && !inputs.moving) {
+    state_ = RadioState::kSleeping;
+    return state_;
+  }
+  state_ = RadioState::kAwake;
+  return state_;
+}
+
+double RadioPowerManager::savings_fraction() const noexcept {
+  if (baseline_mj_ <= 0.0) return 0.0;
+  return 1.0 - energy_mj_ / baseline_mj_;
+}
+
+}  // namespace sh::power

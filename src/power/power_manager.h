@@ -1,0 +1,61 @@
+// Movement-based power saving (paper §5.4).
+//
+// Two hint-driven sleep rules for the WiFi radio:
+//  1. If the node is unassociated, has failed to find an AP, and the
+//     movement hint says it is not moving, power the radio down until the
+//     next movement hint — a stationary node that found nothing will keep
+//     finding nothing.
+//  2. If the speed hint exceeds the useful-WiFi threshold, power down until
+//     speed drops — at high vehicular speeds the association would not
+//     survive long enough to be useful.
+// The energy model integrates radio power over time so policies can be
+// compared against an always-on baseline.
+#pragma once
+
+#include "util/time.h"
+
+namespace sh::power {
+
+enum class RadioState { kAwake, kSleeping };
+
+class RadioPowerManager {
+ public:
+  struct Params {
+    double awake_mw = 890.0;   ///< Active WiFi radio (typical 802.11a card).
+    double sleep_mw = 45.0;    ///< Radio powered down, wake logic only.
+    double max_useful_speed_mps = 20.0;  ///< Above this, WiFi is pointless.
+    Duration rescan_interval = 30 * kSecond;  ///< Periodic scan while awake
+                                              ///< and unassociated.
+  };
+
+  RadioPowerManager() : RadioPowerManager(Params{}) {}
+  explicit RadioPowerManager(Params params);
+
+  struct Inputs {
+    bool associated = false;
+    bool scan_found_ap = false;  ///< Result of the most recent scan.
+    bool moving = false;         ///< Movement hint.
+    double speed_mps = 0.0;      ///< Speed hint.
+  };
+
+  /// Advances the policy to time `now` with the current inputs, integrating
+  /// energy since the previous update and returning the new radio state.
+  RadioState update(Time now, const Inputs& inputs);
+
+  RadioState state() const noexcept { return state_; }
+  /// Energy consumed so far, in millijoules.
+  double energy_mj() const noexcept { return energy_mj_; }
+  /// Energy an always-awake radio would have consumed over the same span.
+  double baseline_energy_mj() const noexcept { return baseline_mj_; }
+  /// Fraction of baseline energy saved so far.
+  double savings_fraction() const noexcept;
+
+ private:
+  Params params_;
+  RadioState state_ = RadioState::kAwake;
+  Time last_update_ = 0;
+  double energy_mj_ = 0.0;
+  double baseline_mj_ = 0.0;
+};
+
+}  // namespace sh::power

@@ -1,0 +1,41 @@
+// Common interface for bit-rate adaptation protocols.
+//
+// The trace runner drives an adapter one transmission attempt at a time:
+// pick_rate() before each attempt, on_result() with the link-layer ACK
+// outcome after it. SNR-based protocols additionally receive on_snr()
+// observations (modelling RBAR's RTS/CTS probe or CHARM's overheard
+// frames). Frame-based protocols ignore them.
+#pragma once
+
+#include <string_view>
+
+#include "mac/rates.h"
+#include "util/time.h"
+
+namespace sh::rate {
+
+class RateAdapter {
+ public:
+  virtual ~RateAdapter() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Signals the start of a new packet (the first attempt of a retry
+  /// chain). Lets protocols with per-chain behaviour — SampleRate's
+  /// multi-rate retry ladder — distinguish chain retries from new packets.
+  virtual void on_packet_start(Time /*now*/) {}
+
+  /// Chooses the rate for the next transmission attempt at time `now`.
+  virtual mac::RateIndex pick_rate(Time now) = 0;
+
+  /// Reports the fate of the attempt made at `now` at `rate_used`.
+  virtual void on_result(Time now, mac::RateIndex rate_used, bool acked) = 0;
+
+  /// Delivers a receiver-SNR observation (dB). Default: ignored.
+  virtual void on_snr(Time /*now*/, double /*snr_db*/) {}
+
+  /// Restores initial state (fresh connection).
+  virtual void reset() = 0;
+};
+
+}  // namespace sh::rate

@@ -1,0 +1,55 @@
+#include "rate/hint_aware.h"
+
+namespace sh::rate {
+
+HintAwareRateAdapter::HintAwareRateAdapter(MovingQuery query, util::Rng rng,
+                                           Params params)
+    : query_(std::move(query)),
+      params_(params),
+      rapid_(params.rapid),
+      sample_rate_(params.sample_rate, rng) {}
+
+HintAwareRateAdapter::MovingQuery HintAwareRateAdapter::store_query(
+    const core::HintStore& store, sim::NodeId receiver, Duration max_age) {
+  return [&store, receiver, max_age](Time now) {
+    return store.is_moving(receiver, now, max_age, /*fallback=*/false);
+  };
+}
+
+RateAdapter& HintAwareRateAdapter::active() noexcept {
+  if (mobile_mode_) return rapid_;
+  return sample_rate_;
+}
+
+void HintAwareRateAdapter::maybe_switch(Time now) {
+  const bool mobile = query_(now);
+  if (mobile == mobile_mode_) return;
+  mobile_mode_ = mobile;
+  if (params_.reset_on_switch) active().reset();
+}
+
+void HintAwareRateAdapter::on_packet_start(Time now) {
+  active().on_packet_start(now);
+}
+
+mac::RateIndex HintAwareRateAdapter::pick_rate(Time now) {
+  maybe_switch(now);
+  return active().pick_rate(now);
+}
+
+void HintAwareRateAdapter::on_result(Time now, mac::RateIndex rate_used,
+                                     bool acked) {
+  active().on_result(now, rate_used, acked);
+}
+
+void HintAwareRateAdapter::on_snr(Time now, double snr_db) {
+  active().on_snr(now, snr_db);
+}
+
+void HintAwareRateAdapter::reset() {
+  rapid_.reset();
+  sample_rate_.reset();
+  mobile_mode_ = false;
+}
+
+}  // namespace sh::rate

@@ -1,0 +1,64 @@
+// The hint-aware bit rate adaptation protocol (paper §3.2).
+//
+// Runs SampleRate while the receiver is static and RapidSample while it is
+// mobile, switching on the receiver's movement hint (delivered over the Hint
+// Protocol; here abstracted as a query function so the harness can wire it
+// to a HintStore, to a simulated detector with realistic latency, or to
+// ground truth for oracle ablations). On each switch the newly activated
+// protocol is reset: the channel regime just changed, so history accumulated
+// under the other regime is not just useless but misleading.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/hint_store.h"
+#include "rate/adapter.h"
+#include "rate/rapid_sample.h"
+#include "rate/sample_rate.h"
+
+namespace sh::rate {
+
+class HintAwareRateAdapter final : public RateAdapter {
+ public:
+  /// Returns the receiver's movement state as known at `now`.
+  using MovingQuery = std::function<bool(Time)>;
+
+  struct Params {
+    RapidSample::Params rapid{};
+    SampleRateAdapter::Params sample_rate{};
+    bool reset_on_switch = true;  ///< Ablation knob.
+  };
+
+  HintAwareRateAdapter(MovingQuery query, util::Rng rng)
+      : HintAwareRateAdapter(std::move(query), rng, Params{}) {}
+  HintAwareRateAdapter(MovingQuery query, util::Rng rng, Params params);
+
+  /// Convenience: wires the query to a HintStore entry for `receiver`,
+  /// treating hints older than `max_age` (or absent) as "static" — the
+  /// legacy-compatible default.
+  static MovingQuery store_query(const core::HintStore& store,
+                                 sim::NodeId receiver,
+                                 Duration max_age = 5 * kSecond);
+
+  std::string_view name() const override { return "HintAware"; }
+  void on_packet_start(Time now) override;
+  mac::RateIndex pick_rate(Time now) override;
+  void on_result(Time now, mac::RateIndex rate_used, bool acked) override;
+  void on_snr(Time now, double snr_db) override;
+  void reset() override;
+
+  bool mobile_mode() const noexcept { return mobile_mode_; }
+
+ private:
+  RateAdapter& active() noexcept;
+  void maybe_switch(Time now);
+
+  MovingQuery query_;
+  Params params_;
+  RapidSample rapid_;
+  SampleRateAdapter sample_rate_;
+  bool mobile_mode_ = false;
+};
+
+}  // namespace sh::rate

@@ -1,0 +1,183 @@
+#include "rate/hinted_runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "mac/airtime.h"
+#include "rate/hint_aware.h"
+#include "sensors/accelerometer.h"
+#include "sensors/movement_detector.h"
+#include "transport/tcp.h"
+#include "util/rng.h"
+
+namespace sh::rate {
+namespace {
+
+/// The receiver's detector output precomputed as a step timeline.
+struct DetectorTimeline {
+  std::vector<std::pair<Time, bool>> transitions;  // (time, new value)
+
+  bool value_at(Time t) const {
+    bool value = false;
+    for (const auto& [when, v] : transitions) {
+      if (when > t) break;
+      value = v;
+    }
+    return value;
+  }
+};
+
+DetectorTimeline run_detector(const sim::MobilityScenario& scenario,
+                              Duration until, std::uint64_t seed) {
+  sensors::AccelerometerSim accel(scenario, util::Rng(seed));
+  sensors::MovementDetector detector;
+  DetectorTimeline timeline;
+  bool last = false;
+  timeline.transitions.emplace_back(0, false);
+  while (accel.now() < until) {
+    const auto report = accel.next();
+    const bool moving = detector.update(report);
+    if (moving != last) {
+      timeline.transitions.emplace_back(report.timestamp, moving);
+      last = moving;
+    }
+  }
+  return timeline;
+}
+
+}  // namespace
+
+HintedRunResult run_trace_with_hint_protocol(
+    const channel::PacketFateTrace& trace,
+    const sim::MobilityScenario& scenario, const HintedRunConfig& config) {
+  assert(!trace.empty());
+  const Time end = trace.duration();
+  const DetectorTimeline detector =
+      run_detector(scenario, end, config.sensor_seed);
+
+  // Sender-side view of the receiver's movement hint, updated only when a
+  // frame actually crosses the link.
+  bool sender_view = false;
+  Time sender_view_updated = 0;
+  // For hint-delay accounting: when did the sender first reflect each
+  // detector transition?
+  std::vector<Time> reflected_at(detector.transitions.size(), -1);
+
+  auto deliver_hint_to_sender = [&](Time now) {
+    const bool current = detector.value_at(now);
+    sender_view = current;
+    sender_view_updated = now;
+    for (std::size_t i = 0; i < detector.transitions.size(); ++i) {
+      if (detector.transitions[i].first <= now && reflected_at[i] < 0 &&
+          detector.transitions[i].second == current) {
+        // Transitions superseded by a newer opposite value can never be
+        // individually reflected; mark everything up to now consistent
+        // with the delivered value.
+        reflected_at[i] = now;
+      }
+    }
+  };
+
+  HintedRunResult result;
+  HintAwareRateAdapter adapter([&](Time) { return sender_view; },
+                               util::Rng(42));
+  util::Rng floor_rng(config.run.floor_seed);
+  util::Rng standalone_rng(config.sensor_seed ^ 0x5A5A);
+  transport::TcpModel tcp(config.run.tcp);
+  Time t = 0;
+  Time last_hint_carried = 0;
+
+  auto maybe_standalone = [&](Time now) {
+    // Receiver notices its hint changed and nothing has carried it.
+    if (detector.value_at(now) == sender_view) return;
+    if (now - last_hint_carried < config.standalone_after) return;
+    ++result.standalone_hint_frames;
+    last_hint_carried = now;
+    // A short 6M frame; delivery decided by the trace (plus the floor).
+    if (trace.delivered(now, mac::slowest_rate()) &&
+        !standalone_rng.bernoulli(config.run.iid_loss_floor)) {
+      deliver_hint_to_sender(now);
+    }
+  };
+
+  auto attempt_packet = [&](Time& now) {
+    if (config.run.provide_snr) {
+      adapter.on_snr(now,
+                     trace.snr_db(std::max<Time>(0, now - config.run.snr_lag)));
+    }
+    adapter.on_packet_start(now);
+    for (int retry = 0; retry <= config.run.link_retries; ++retry) {
+      const mac::RateIndex r = adapter.pick_rate(now);
+      const bool delivered = trace.delivered(now, r) &&
+                             !floor_rng.bernoulli(config.run.iid_loss_floor);
+      adapter.on_result(now, r, delivered);
+      now += mac::attempt_duration(r, config.run.payload_bytes, retry);
+      if (delivered) {
+        // The link-layer ACK carries the receiver's CURRENT movement bit.
+        deliver_hint_to_sender(now);
+        last_hint_carried = now;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (config.run.workload == Workload::kUdp) {
+    while (t < end) {
+      ++result.run.attempts;
+      if (attempt_packet(t)) ++result.run.delivered;
+      maybe_standalone(t);
+    }
+  } else {
+    while (t < end) {
+      if (tcp.stalled(t)) {
+        // During the stall the receiver may push standalone hint frames.
+        while (t < std::min(end, tcp.stall_until())) {
+          maybe_standalone(t);
+          t += config.standalone_after / 2;
+        }
+        if (t >= end) break;
+      }
+      const int window = tcp.window();
+      int delivered_in_round = 0;
+      int sent = 0;
+      for (int i = 0; i < window && t < end; ++i) {
+        ++sent;
+        ++result.run.attempts;
+        if (attempt_packet(t)) {
+          ++delivered_in_round;
+          ++result.run.delivered;
+        }
+      }
+      tcp.on_round(t, sent, delivered_in_round);
+      maybe_standalone(t);
+    }
+  }
+
+  result.run.duration_s = to_seconds(end);
+  result.run.throughput_mbps =
+      static_cast<double>(result.run.delivered) *
+      static_cast<double>(config.run.payload_bytes) * 8.0 /
+      result.run.duration_s / 1e6;
+  result.run.delivery_ratio =
+      result.run.attempts == 0
+          ? 0.0
+          : static_cast<double>(result.run.delivered) /
+                static_cast<double>(result.run.attempts);
+
+  // Hint-delay accounting over genuine transitions (skip the initial state).
+  double delay_sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 1; i < detector.transitions.size(); ++i) {
+    if (reflected_at[i] < 0) continue;
+    delay_sum += to_seconds(reflected_at[i] - detector.transitions[i].first);
+    ++counted;
+  }
+  result.detector_transitions =
+      detector.transitions.empty() ? 0 : detector.transitions.size() - 1;
+  result.mean_hint_delay_s = counted > 0 ? delay_sum / counted : 0.0;
+  return result;
+}
+
+}  // namespace sh::rate

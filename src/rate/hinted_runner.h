@@ -1,0 +1,47 @@
+// Full-protocol trace replay: the hint path is simulated too.
+//
+// run_trace() treats the receiver's movement state as an oracle query; this
+// variant closes the loop the way the paper's architecture actually works:
+//  * the receiver runs the accelerometer + jerk detector over the SAME
+//    mobility scenario that shaped the channel;
+//  * its current movement hint rides to the sender in the reserved bit of
+//    every link-layer ACK (§2.3's zero-overhead mechanism) — so the sender
+//    only learns anything when a packet is DELIVERED;
+//  * during long TCP stalls the receiver emits standalone HINT frames,
+//    themselves subject to the channel's 6M fate.
+// Hint staleness therefore emerges from loss and traffic patterns instead
+// of being injected as a parameter.
+#pragma once
+
+#include "channel/trace.h"
+#include "rate/trace_runner.h"
+#include "sim/mobility.h"
+
+namespace sh::rate {
+
+struct HintedRunResult {
+  RunResult run;
+  /// Mean delay between a detector transition at the receiver and the
+  /// sender's view reflecting it (across observed transitions).
+  double mean_hint_delay_s = 0.0;
+  std::size_t detector_transitions = 0;
+  std::size_t standalone_hint_frames = 0;
+};
+
+struct HintedRunConfig {
+  RunConfig run{};
+  /// Seed for the receiver's accelerometer stream.
+  std::uint64_t sensor_seed = 1;
+  /// Receiver emits a standalone hint frame when its hint changed and no
+  /// ACK has carried it for this long.
+  Duration standalone_after = 100 * kMillisecond;
+};
+
+/// Replays `trace` through the full hint-aware stack. `scenario` must be
+/// the same mobility script the trace was generated from (the paper's
+/// receiver carries both the radio and the accelerometer).
+HintedRunResult run_trace_with_hint_protocol(
+    const channel::PacketFateTrace& trace,
+    const sim::MobilityScenario& scenario, const HintedRunConfig& config);
+
+}  // namespace sh::rate

@@ -1,0 +1,81 @@
+#include "sensors/accelerometer.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sh::sensors {
+
+AccelerometerSim::AccelerometerSim(sim::MobilityScenario scenario,
+                                   util::Rng rng, Params params)
+    : scenario_(std::move(scenario)), rng_(rng), params_(params) {}
+
+AccelReport AccelerometerSim::next() {
+  const Time t = now_;
+  now_ += params_.report_interval;
+
+  const sim::MotionState state = scenario_.state_at(t);
+  const bool moving = sim::is_moving(state);
+  const bool vehicle = state == sim::MotionState::kVehicle;
+
+  AccelReport report;
+  report.timestamp = t;
+  // Rest orientation: gravity mostly on z (device flat), a little on x.
+  report.x = 0.1 * params_.gravity_units;
+  report.y = 0.0;
+  report.z = params_.gravity_units;
+
+  // Sensor noise floor is always present.
+  report.x += rng_.normal(0.0, params_.static_noise);
+  report.y += rng_.normal(0.0, params_.static_noise);
+  report.z += rng_.normal(0.0, params_.static_noise);
+
+  if (!moving) {
+    // Decay any residual shake so a stop actually looks quiet.
+    shake_x_ = shake_y_ = shake_z_ = 0.0;
+    return report;
+  }
+
+  const double shake_scale = vehicle ? params_.vehicle_shake_scale : 1.0;
+  const double jolt_scale = vehicle ? params_.vehicle_jolt_scale : 1.0;
+
+  // Band-limited shake: AR(1) per axis.
+  const double rho = params_.shake_rho;
+  const double drive = params_.shake_sigma * shake_scale *
+                       std::sqrt(1.0 - rho * rho);
+  shake_x_ = rho * shake_x_ + rng_.normal(0.0, drive);
+  shake_y_ = rho * shake_y_ + rng_.normal(0.0, drive);
+  shake_z_ = rho * shake_z_ + rng_.normal(0.0, drive);
+  report.x += shake_x_;
+  report.y += shake_y_;
+  report.z += shake_z_;
+
+  // Walking-cadence bounce (suppressed in a vehicle).
+  if (!vehicle) {
+    const double phase =
+        2.0 * std::numbers::pi * params_.bounce_hz * to_seconds(t);
+    report.z += params_.bounce_amplitude * std::sin(phase);
+    report.x += 0.4 * params_.bounce_amplitude * std::sin(0.5 * phase);
+  }
+
+  // Sharp jolts: Poisson arrivals, each lasting a few reports.
+  if (t >= jolt_until_) {
+    const double p_jolt =
+        params_.jolt_rate_hz * to_seconds(params_.report_interval);
+    if (rng_.bernoulli(p_jolt)) {
+      const double mag =
+          jolt_scale * rng_.exponential(params_.jolt_magnitude);
+      jolt_x_ = rng_.normal(0.0, mag);
+      jolt_y_ = rng_.normal(0.0, mag);
+      jolt_z_ = rng_.normal(0.0, mag);
+      jolt_until_ = t + 3 * params_.report_interval;
+    }
+  }
+  if (t < jolt_until_) {
+    report.x += jolt_x_;
+    report.y += jolt_y_;
+    report.z += jolt_z_;
+  }
+  return report;
+}
+
+}  // namespace sh::sensors

@@ -1,0 +1,63 @@
+// Accelerometer simulation.
+//
+// Stands in for the paper's Sparkfun serial accelerometer: three-axis force
+// reports in uncalibrated "custom units" once every 2 ms. When the device is
+// still the signal is a constant orientation vector plus a small sensor noise
+// floor; when carried, rolled, or driven it gains band-limited shake, a
+// walking-cadence bounce and occasional sharp jolts — the features the
+// paper's jerk detector keys on (Fig 2-2).
+#pragma once
+
+#include "sim/mobility.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sh::sensors {
+
+struct AccelReport {
+  Time timestamp = 0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+class AccelerometerSim {
+ public:
+  struct Params {
+    Duration report_interval = 2 * kMillisecond;  ///< Paper: 500 Hz.
+    double gravity_units = 50.0;   ///< Constant rest-orientation magnitude.
+    double static_noise = 0.12;    ///< Noise floor per axis (custom units).
+    double shake_sigma = 2.2;      ///< Band-limited shake while moving.
+    double shake_rho = 0.35;       ///< AR(1) correlation of the shake.
+    double bounce_amplitude = 3.0; ///< Walking-cadence bounce.
+    double bounce_hz = 2.0;
+    double jolt_rate_hz = 12.0;    ///< Poisson rate of sharp jolts.
+    double jolt_magnitude = 6.0;   ///< Mean jolt amplitude.
+    /// Vehicle motion shakes less than walking (suspension) but jolts on
+    /// bumps; scale factors applied to the above when in a vehicle.
+    double vehicle_shake_scale = 0.6;
+    double vehicle_jolt_scale = 1.4;
+  };
+
+  AccelerometerSim(sim::MobilityScenario scenario, util::Rng rng)
+      : AccelerometerSim(std::move(scenario), rng, Params{}) {}
+  AccelerometerSim(sim::MobilityScenario scenario, util::Rng rng,
+                   Params params);
+
+  /// Produces the next 2 ms report, advancing internal time.
+  AccelReport next();
+
+  Time now() const noexcept { return now_; }
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  sim::MobilityScenario scenario_;
+  util::Rng rng_;
+  Params params_;
+  Time now_ = 0;
+  double shake_x_ = 0.0, shake_y_ = 0.0, shake_z_ = 0.0;  // AR(1) state
+  Time jolt_until_ = -1;
+  double jolt_x_ = 0.0, jolt_y_ = 0.0, jolt_z_ = 0.0;
+};
+
+}  // namespace sh::sensors

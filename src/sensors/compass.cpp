@@ -1,0 +1,43 @@
+#include "sensors/compass.h"
+
+#include "core/hints.h"
+
+namespace sh::sensors {
+
+CompassSim::Params CompassSim::indoor_params() {
+  Params p;
+  p.noise_deg = 10.0;
+  p.disturbance_rate_hz = 0.25;
+  p.disturbance_magnitude_deg = 70.0;
+  p.disturbance_duration = 6 * kSecond;
+  return p;
+}
+
+CompassSim::CompassSim(TruthTrack truth, util::Rng rng, Params params)
+    : truth_(std::move(truth)), rng_(rng), params_(params) {}
+
+CompassReading CompassSim::next() {
+  const Time t = now_;
+  now_ += params_.interval;
+
+  if (t >= disturbance_until_) {
+    const double p_start =
+        params_.disturbance_rate_hz * to_seconds(params_.interval);
+    if (rng_.bernoulli(p_start)) {
+      disturbance_offset_ =
+          rng_.normal(0.0, params_.disturbance_magnitude_deg);
+      disturbance_until_ = t + params_.disturbance_duration;
+    } else {
+      disturbance_offset_ = 0.0;
+    }
+  }
+
+  const KinematicSample s = truth_(t);
+  CompassReading reading;
+  reading.timestamp = t;
+  reading.heading_deg = core::normalize_heading(
+      s.heading_deg + disturbance_offset_ + rng_.normal(0.0, params_.noise_deg));
+  return reading;
+}
+
+}  // namespace sh::sensors

@@ -1,0 +1,48 @@
+// Digital compass (magnetometer) simulation: frequent heading readings with
+// Gaussian noise plus intermittent magnetic disturbances — severe indoors,
+// mild outdoors — the failure mode that motivates gyro fusion (§2.2.2).
+#pragma once
+
+#include "sensors/truth.h"
+#include "util/rng.h"
+
+namespace sh::sensors {
+
+struct CompassReading {
+  Time timestamp = 0;
+  double heading_deg = 0.0;
+};
+
+class CompassSim {
+ public:
+  struct Params {
+    Duration interval = 50 * kMillisecond;  ///< 20 Hz.
+    double noise_deg = 4.0;
+    /// Magnetic disturbance: occasionally the reported heading acquires a
+    /// large slowly-decaying offset (steel furniture, wiring, vehicles).
+    double disturbance_rate_hz = 0.05;
+    double disturbance_magnitude_deg = 45.0;
+    Duration disturbance_duration = 4 * kSecond;
+  };
+
+  /// Indoor preset: noisier, frequently disturbed.
+  static Params indoor_params();
+
+  CompassSim(TruthTrack truth, util::Rng rng)
+      : CompassSim(std::move(truth), rng, Params{}) {}
+  CompassSim(TruthTrack truth, util::Rng rng, Params params);
+
+  CompassReading next();
+
+  Time now() const noexcept { return now_; }
+
+ private:
+  TruthTrack truth_;
+  util::Rng rng_;
+  Params params_;
+  Time now_ = 0;
+  Time disturbance_until_ = -1;
+  double disturbance_offset_ = 0.0;
+};
+
+}  // namespace sh::sensors

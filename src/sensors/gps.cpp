@@ -1,0 +1,33 @@
+#include "sensors/gps.h"
+
+#include "core/hints.h"
+
+namespace sh::sensors {
+
+GpsSim::GpsSim(TruthTrack truth, util::Rng rng, Params params)
+    : truth_(std::move(truth)), rng_(rng), params_(params) {}
+
+GpsFix GpsSim::next() {
+  const Time t = now_;
+  now_ += params_.interval;
+
+  GpsFix fix;
+  fix.timestamp = t;
+  if (!params_.outdoors || rng_.bernoulli(params_.dropout_probability)) {
+    return fix;  // invalid
+  }
+  const KinematicSample s = truth_(t);
+  fix.valid = true;
+  fix.x_m = s.x_m + rng_.normal(0.0, params_.position_noise_m);
+  fix.y_m = s.y_m + rng_.normal(0.0, params_.position_noise_m);
+  fix.speed_mps =
+      std::max(0.0, s.speed_mps + rng_.normal(0.0, params_.speed_noise_mps));
+  if (s.moving && s.speed_mps >= params_.min_speed_for_heading) {
+    fix.heading_valid = true;
+    fix.heading_deg = core::normalize_heading(
+        s.heading_deg + rng_.normal(0.0, params_.heading_noise_deg));
+  }
+  return fix;
+}
+
+}  // namespace sh::sensors

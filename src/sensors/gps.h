@@ -1,0 +1,49 @@
+// GPS receiver simulation: 1 Hz fixes with position/speed noise, heading
+// only while moving, and no lock indoors (which is itself the paper's
+// outdoor detector in §5.3).
+#pragma once
+
+#include "sensors/truth.h"
+#include "util/rng.h"
+
+namespace sh::sensors {
+
+struct GpsFix {
+  Time timestamp = 0;
+  bool valid = false;          ///< False when no satellite lock (indoors).
+  double x_m = 0.0;
+  double y_m = 0.0;
+  double speed_mps = 0.0;
+  double heading_deg = 0.0;
+  bool heading_valid = false;  ///< GPS heading needs motion to be defined.
+};
+
+class GpsSim {
+ public:
+  struct Params {
+    Duration interval = kSecond;
+    bool outdoors = true;             ///< Indoors: no lock, fixes invalid.
+    double position_noise_m = 3.0;
+    double speed_noise_mps = 0.3;
+    double heading_noise_deg = 5.0;
+    double min_speed_for_heading = 0.5;
+    double dropout_probability = 0.02;  ///< Chance a fix is missed outdoors.
+  };
+
+  GpsSim(TruthTrack truth, util::Rng rng)
+      : GpsSim(std::move(truth), rng, Params{}) {}
+  GpsSim(TruthTrack truth, util::Rng rng, Params params);
+
+  /// Produces the next fix, advancing internal time by the fix interval.
+  GpsFix next();
+
+  Time now() const noexcept { return now_; }
+
+ private:
+  TruthTrack truth_;
+  util::Rng rng_;
+  Params params_;
+  Time now_ = 0;
+};
+
+}  // namespace sh::sensors

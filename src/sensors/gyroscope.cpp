@@ -1,0 +1,47 @@
+#include "sensors/gyroscope.h"
+
+#include <cmath>
+
+namespace sh::sensors {
+namespace {
+
+/// Signed smallest angular difference a - b in (-180, 180].
+double signed_heading_delta(double a, double b) {
+  double d = std::fmod(a - b, 360.0);
+  if (d > 180.0) d -= 360.0;
+  if (d <= -180.0) d += 360.0;
+  return d;
+}
+
+}  // namespace
+
+GyroscopeSim::GyroscopeSim(TruthTrack truth, util::Rng rng, Params params)
+    : truth_(std::move(truth)),
+      rng_(rng),
+      params_(params),
+      bias_dps_(rng_.normal(0.0, params.initial_bias_dps)) {}
+
+GyroReading GyroscopeSim::next() {
+  const Time t = now_;
+  now_ += params_.interval;
+
+  const double dt = to_seconds(params_.interval);
+  const KinematicSample s = truth_(t);
+
+  double true_rate = 0.0;
+  if (has_prev_) {
+    true_rate = signed_heading_delta(s.heading_deg, prev_heading_deg_) / dt;
+  }
+  prev_heading_deg_ = s.heading_deg;
+  has_prev_ = true;
+
+  bias_dps_ += rng_.normal(0.0, params_.bias_walk_dps_per_sqrt_s) *
+               std::sqrt(dt);
+
+  GyroReading reading;
+  reading.timestamp = t;
+  reading.rate_dps = true_rate + bias_dps_ + rng_.normal(0.0, params_.noise_dps);
+  return reading;
+}
+
+}  // namespace sh::sensors

@@ -1,0 +1,44 @@
+// Rate gyroscope simulation: angular rate about the vertical axis with white
+// noise and a slowly random-walking bias — accurate over short horizons,
+// drifting over long ones, i.e. the complement of the compass.
+#pragma once
+
+#include "sensors/truth.h"
+#include "util/rng.h"
+
+namespace sh::sensors {
+
+struct GyroReading {
+  Time timestamp = 0;
+  double rate_dps = 0.0;  ///< Heading rate in degrees per second.
+};
+
+class GyroscopeSim {
+ public:
+  struct Params {
+    Duration interval = 10 * kMillisecond;  ///< 100 Hz.
+    double noise_dps = 0.3;
+    double initial_bias_dps = 0.4;
+    double bias_walk_dps_per_sqrt_s = 0.05;
+  };
+
+  GyroscopeSim(TruthTrack truth, util::Rng rng)
+      : GyroscopeSim(std::move(truth), rng, Params{}) {}
+  GyroscopeSim(TruthTrack truth, util::Rng rng, Params params);
+
+  GyroReading next();
+
+  Time now() const noexcept { return now_; }
+  Duration interval() const noexcept { return params_.interval; }
+
+ private:
+  TruthTrack truth_;
+  util::Rng rng_;
+  Params params_;
+  Time now_ = 0;
+  double bias_dps_;
+  double prev_heading_deg_ = 0.0;
+  bool has_prev_ = false;
+};
+
+}  // namespace sh::sensors

@@ -1,0 +1,45 @@
+#include "sensors/heading_estimator.h"
+
+#include <cmath>
+
+#include "core/hints.h"
+
+namespace sh::sensors {
+namespace {
+
+double signed_delta(double target, double current) {
+  double d = std::fmod(target - current, 360.0);
+  if (d > 180.0) d -= 360.0;
+  if (d <= -180.0) d += 360.0;
+  return d;
+}
+
+}  // namespace
+
+HeadingEstimator::HeadingEstimator(Params params) : params_(params) {}
+
+void HeadingEstimator::initialize(double heading_deg) {
+  heading_deg_ = core::normalize_heading(heading_deg);
+  initialized_ = true;
+}
+
+void HeadingEstimator::update_gyro(const GyroReading& reading,
+                                   Duration interval) {
+  if (!initialized_) return;
+  heading_deg_ = core::normalize_heading(
+      heading_deg_ + reading.rate_dps * to_seconds(interval));
+}
+
+void HeadingEstimator::update_compass(const CompassReading& reading) {
+  if (!initialized_) {
+    initialize(reading.heading_deg);
+    return;
+  }
+  const double delta = signed_delta(reading.heading_deg, heading_deg_);
+  const double gain = std::fabs(delta) > params_.outlier_reject_deg
+                          ? params_.outlier_gain
+                          : params_.compass_gain;
+  heading_deg_ = core::normalize_heading(heading_deg_ + gain * delta);
+}
+
+}  // namespace sh::sensors

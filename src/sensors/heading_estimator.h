@@ -1,0 +1,46 @@
+// Heading estimation by compass + gyro complementary fusion (§2.2.2).
+//
+// The gyro integrates precisely over short horizons but drifts; the compass
+// is drift-free but noisy and occasionally grossly disturbed indoors. The
+// complementary filter integrates gyro rates and pulls slowly towards the
+// compass, rejecting compass samples that disagree wildly with the current
+// estimate (a disturbance, not information).
+#pragma once
+
+#include "sensors/compass.h"
+#include "sensors/gyroscope.h"
+
+namespace sh::sensors {
+
+class HeadingEstimator {
+ public:
+  struct Params {
+    double compass_gain = 0.02;        ///< Pull-in per compass sample.
+    double outlier_reject_deg = 60.0;  ///< Compass samples further than this
+                                       ///< from the estimate correct slower.
+    double outlier_gain = 0.002;
+  };
+
+  HeadingEstimator() : HeadingEstimator(Params{}) {}
+  explicit HeadingEstimator(Params params);
+
+  /// Seeds the estimate (e.g. from the first compass sample or GPS heading).
+  void initialize(double heading_deg);
+  bool initialized() const noexcept { return initialized_; }
+
+  /// Integrates one gyro reading over its sampling interval.
+  void update_gyro(const GyroReading& reading, Duration interval);
+  /// Applies one compass correction.
+  void update_compass(const CompassReading& reading);
+
+  /// Current heading estimate in [0, 360). Requires initialize() or at least
+  /// one compass update first (the first compass sample auto-initializes).
+  double heading_deg() const noexcept { return heading_deg_; }
+
+ private:
+  Params params_;
+  double heading_deg_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace sh::sensors

@@ -1,0 +1,73 @@
+#include "sensors/hint_services.h"
+
+#include "core/hints.h"
+
+namespace sh::sensors {
+
+MovementHintService::MovementHintService(sim::EventLoop& loop,
+                                         core::HintBus& bus, sim::NodeId self,
+                                         AccelerometerSim accel,
+                                         MovementDetector::Params params)
+    : loop_(loop),
+      bus_(bus),
+      self_(self),
+      accel_(std::move(accel)),
+      detector_(params) {}
+
+void MovementHintService::start() {
+  loop_.schedule_after(accel_.params().report_interval, [this] { tick(); });
+}
+
+void MovementHintService::tick() {
+  const bool moving = detector_.update(accel_.next());
+  if (!published_any_ || moving != last_published_) {
+    bus_.publish(core::Hint::movement(moving, loop_.now(), self_));
+    last_published_ = moving;
+    published_any_ = true;
+  }
+  loop_.schedule_after(accel_.params().report_interval, [this] { tick(); });
+}
+
+HeadingHintService::HeadingHintService(sim::EventLoop& loop,
+                                       core::HintBus& bus, sim::NodeId self,
+                                       CompassSim compass, GyroscopeSim gyro,
+                                       Params params)
+    : loop_(loop),
+      bus_(bus),
+      self_(self),
+      compass_(std::move(compass)),
+      gyro_(std::move(gyro)),
+      estimator_(params.estimator),
+      params_(params) {}
+
+void HeadingHintService::start() {
+  loop_.schedule_after(gyro_.interval(), [this] { gyro_tick(); });
+  loop_.schedule_after(50 * kMillisecond, [this] { compass_tick(); });
+}
+
+void HeadingHintService::gyro_tick() {
+  estimator_.update_gyro(gyro_.next(), gyro_.interval());
+  maybe_publish();
+  loop_.schedule_after(gyro_.interval(), [this] { gyro_tick(); });
+}
+
+void HeadingHintService::compass_tick() {
+  estimator_.update_compass(compass_.next());
+  maybe_publish();
+  loop_.schedule_after(50 * kMillisecond, [this] { compass_tick(); });
+}
+
+void HeadingHintService::maybe_publish() {
+  if (!estimator_.initialized()) return;
+  const double heading = estimator_.heading_deg();
+  if (published_any_ &&
+      core::heading_difference(heading, last_published_deg_) <
+          params_.publish_delta_deg) {
+    return;
+  }
+  bus_.publish(core::Hint::heading(heading, loop_.now(), self_));
+  last_published_deg_ = heading;
+  published_any_ = true;
+}
+
+}  // namespace sh::sensors

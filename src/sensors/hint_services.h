@@ -1,0 +1,82 @@
+// Hint services: the glue between sensor simulators, detectors, and the
+// HintBus (paper Fig 2-1). Each service samples its sensor on the event loop
+// and publishes a hint when the derived value changes (movement) or moves
+// meaningfully (heading/speed). Queries return the most recent value, as the
+// paper's "movement hint service" does.
+#pragma once
+
+#include "core/hint_bus.h"
+#include "sensors/accelerometer.h"
+#include "sensors/compass.h"
+#include "sensors/gps.h"
+#include "sensors/gyroscope.h"
+#include "sensors/heading_estimator.h"
+#include "sensors/movement_detector.h"
+#include "sensors/speed_estimator.h"
+#include "sim/event_loop.h"
+
+namespace sh::sensors {
+
+/// Publishes core::HintType::kMovement on every transition.
+class MovementHintService {
+ public:
+  MovementHintService(sim::EventLoop& loop, core::HintBus& bus,
+                      sim::NodeId self, AccelerometerSim accel,
+                      MovementDetector::Params detector_params = {});
+
+  /// Begins periodic sampling (one event per accelerometer report).
+  void start();
+
+  bool moving() const noexcept { return detector_.moving(); }
+  double last_jerk() const noexcept { return detector_.last_jerk(); }
+
+ private:
+  void tick();
+
+  sim::EventLoop& loop_;
+  core::HintBus& bus_;
+  sim::NodeId self_;
+  AccelerometerSim accel_;
+  MovementDetector detector_;
+  bool last_published_ = false;
+  bool published_any_ = false;
+};
+
+/// Publishes core::HintType::kHeading when the fused estimate moves by more
+/// than `publish_delta_deg`, and kSpeed alongside when GPS is available.
+class HeadingHintService {
+ public:
+  struct Params {
+    double publish_delta_deg = 5.0;
+    HeadingEstimator::Params estimator{};
+  };
+
+  HeadingHintService(sim::EventLoop& loop, core::HintBus& bus,
+                     sim::NodeId self, CompassSim compass, GyroscopeSim gyro)
+      : HeadingHintService(loop, bus, self, std::move(compass),
+                           std::move(gyro), Params{}) {}
+  HeadingHintService(sim::EventLoop& loop, core::HintBus& bus,
+                     sim::NodeId self, CompassSim compass, GyroscopeSim gyro,
+                     Params params);
+
+  void start();
+
+  double heading_deg() const noexcept { return estimator_.heading_deg(); }
+
+ private:
+  void gyro_tick();
+  void compass_tick();
+  void maybe_publish();
+
+  sim::EventLoop& loop_;
+  core::HintBus& bus_;
+  sim::NodeId self_;
+  CompassSim compass_;
+  GyroscopeSim gyro_;
+  HeadingEstimator estimator_;
+  Params params_;
+  double last_published_deg_ = 0.0;
+  bool published_any_ = false;
+};
+
+}  // namespace sh::sensors

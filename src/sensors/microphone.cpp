@@ -1,0 +1,81 @@
+#include "sensors/microphone.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sh::sensors {
+
+MicrophoneSim::MicrophoneSim(ActivityScript busy, util::Rng rng, Params params)
+    : busy_(std::move(busy)), rng_(rng), params_(params) {
+  assert(busy_);
+}
+
+MicSample MicrophoneSim::next() {
+  const Time t = now_;
+  now_ += params_.interval;
+
+  MicSample sample;
+  sample.timestamp = t;
+  sample.level_db = params_.floor_db + rng_.normal(0.0, params_.floor_noise_db);
+
+  if (busy_(t) && t >= event_until_) {
+    const double p_event =
+        params_.event_rate_hz * to_seconds(params_.interval);
+    if (rng_.bernoulli(p_event)) {
+      event_level_db_ = rng_.exponential(params_.event_gain_db);
+      event_until_ =
+          t + static_cast<Duration>(rng_.exponential(
+                  static_cast<double>(params_.event_duration)));
+    }
+  }
+  if (t < event_until_) {
+    // Sound power adds; in dB that's a log-sum-exp of floor and event.
+    const double event_db = params_.floor_db + event_level_db_ +
+                            rng_.normal(0.0, 2.0);
+    sample.level_db =
+        10.0 * std::log10(std::pow(10.0, sample.level_db / 10.0) +
+                          std::pow(10.0, event_db / 10.0));
+  }
+  return sample;
+}
+
+EnvironmentActivityDetector::EnvironmentActivityDetector(Params params)
+    : params_(params) {
+  assert(params_.window_samples > 1);
+  assert(params_.stddev_threshold_db > 0.0);
+}
+
+bool EnvironmentActivityDetector::update(const MicSample& sample) {
+  window_.push_back(sample.level_db);
+  if (window_.size() > static_cast<std::size_t>(params_.window_samples))
+    window_.pop_front();
+  if (window_.size() < static_cast<std::size_t>(params_.window_samples))
+    return busy_;
+
+  double mean = 0.0;
+  for (const double level : window_) mean += level;
+  mean /= static_cast<double>(window_.size());
+  double var = 0.0;
+  for (const double level : window_) var += (level - mean) * (level - mean);
+  var /= static_cast<double>(window_.size() - 1);
+  last_stddev_ = std::sqrt(var);
+
+  if (last_stddev_ > params_.stddev_threshold_db) {
+    busy_ = true;
+    quiet_run_ = 0;
+  } else {
+    if (quiet_run_ < params_.hold_samples) ++quiet_run_;
+    if (busy_ && quiet_run_ >= params_.hold_samples) busy_ = false;
+  }
+  return busy_;
+}
+
+void EnvironmentActivityDetector::reset() {
+  window_.clear();
+  busy_ = false;
+  last_stddev_ = 0.0;
+  quiet_run_ = 0;
+}
+
+}  // namespace sh::sensors

@@ -1,0 +1,89 @@
+// Microphone-based environment-activity detection (paper §5.6).
+//
+// A changing environment around a *static* node (pedestrians, passing cars)
+// destabilizes the channel much like self-motion does; the paper observes
+// that RapidSample outperforms SampleRate in such conditions and proposes
+// the microphone — ambient noise variation correlates strongly with nearby
+// activity — as the sensor to detect them.
+//
+// MicrophoneSim produces ambient sound-level samples (dB SPL): a quiet
+// floor plus transient events whose rate is set by the environment-activity
+// script. EnvironmentActivityDetector turns the level stream into a boolean
+// hint by thresholding the sliding-window standard deviation.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace sh::sensors {
+
+struct MicSample {
+  Time timestamp = 0;
+  double level_db = 0.0;  ///< A-weighted ambient level.
+};
+
+class MicrophoneSim {
+ public:
+  struct Params {
+    Duration interval = 50 * kMillisecond;  ///< 20 Hz level metering.
+    double floor_db = 38.0;      ///< Quiet-room ambient floor.
+    double floor_noise_db = 0.8; ///< Metering noise on the floor.
+    double event_rate_hz = 1.2;  ///< Activity events per second when busy.
+    double event_gain_db = 14.0; ///< Mean loudness of an event above floor.
+    Duration event_duration = 800 * kMillisecond;
+  };
+
+  /// `busy(t)` scripts whether the surroundings are active at time t.
+  using ActivityScript = std::function<bool(Time)>;
+
+  MicrophoneSim(ActivityScript busy, util::Rng rng)
+      : MicrophoneSim(std::move(busy), rng, Params{}) {}
+  MicrophoneSim(ActivityScript busy, util::Rng rng, Params params);
+
+  MicSample next();
+
+  Time now() const noexcept { return now_; }
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  ActivityScript busy_;
+  util::Rng rng_;
+  Params params_;
+  Time now_ = 0;
+  Time event_until_ = -1;
+  double event_level_db_ = 0.0;
+};
+
+class EnvironmentActivityDetector {
+ public:
+  struct Params {
+    int window_samples = 40;      ///< 2 s of 20 Hz samples.
+    double stddev_threshold_db = 2.0;
+    int hold_samples = 60;        ///< Quiet samples before the hint drops.
+  };
+
+  EnvironmentActivityDetector()
+      : EnvironmentActivityDetector(Params{}) {}
+  explicit EnvironmentActivityDetector(Params params);
+
+  /// Feeds one level sample; returns the updated activity hint.
+  bool update(const MicSample& sample);
+
+  bool busy() const noexcept { return busy_; }
+  /// Window standard deviation after the last update (0 while warming up).
+  double last_stddev_db() const noexcept { return last_stddev_; }
+
+  void reset();
+
+ private:
+  Params params_;
+  std::deque<double> window_;
+  bool busy_ = false;
+  double last_stddev_ = 0.0;
+  int quiet_run_ = 0;
+};
+
+}  // namespace sh::sensors

@@ -1,0 +1,57 @@
+#include "sensors/movement_detector.h"
+
+#include <cassert>
+
+namespace sh::sensors {
+
+MovementDetector::MovementDetector(Params params) : params_(params) {
+  assert(params_.jerk_threshold > 0.0);
+  assert(params_.hold_window_reports > 0);
+  assert(params_.mean_length > 0);
+}
+
+bool MovementDetector::update(const AccelReport& report) {
+  const auto needed = static_cast<std::size_t>(2 * params_.mean_length);
+  window_.push_back(report);
+  if (window_.size() > needed) window_.pop_front();
+  if (window_.size() < needed) return hint_;
+
+  // Older half [0, mean_length) vs newer half [mean_length, 2*mean_length).
+  double ox = 0.0, oy = 0.0, oz = 0.0, nx = 0.0, ny = 0.0, nz = 0.0;
+  for (int i = 0; i < params_.mean_length; ++i) {
+    const auto& older = window_[static_cast<std::size_t>(i)];
+    ox += older.x;
+    oy += older.y;
+    oz += older.z;
+    const auto& newer =
+        window_[static_cast<std::size_t>(i + params_.mean_length)];
+    nx += newer.x;
+    ny += newer.y;
+    nz += newer.z;
+  }
+  const double inv = 1.0 / static_cast<double>(params_.mean_length);
+  const double dx = (nx - ox) * inv;
+  const double dy = (ny - oy) * inv;
+  const double dz = (nz - oz) * inv;
+  last_jerk_ = dx * dx + dy * dy + dz * dz;
+
+  if (last_jerk_ > params_.jerk_threshold) {
+    reports_since_high_jerk_ = 0;
+    hint_ = true;
+  } else {
+    if (reports_since_high_jerk_ < params_.hold_window_reports)
+      ++reports_since_high_jerk_;
+    if (hint_ && reports_since_high_jerk_ >= params_.hold_window_reports)
+      hint_ = false;
+  }
+  return hint_;
+}
+
+void MovementDetector::reset() {
+  window_.clear();
+  hint_ = false;
+  last_jerk_ = 0.0;
+  reports_since_high_jerk_ = 0;
+}
+
+}  // namespace sh::sensors

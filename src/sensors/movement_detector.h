@@ -1,0 +1,55 @@
+// The paper's movement-hint algorithm (§2.2.1), verbatim:
+//
+//   For each accelerometer report t, average the force values of reports
+//   [t-4, t] and [t-9, t-5] per axis; the jerk J_t is the squared distance
+//   between the two mean vectors. The movement hint H_t turns on as soon as
+//   J_t exceeds the threshold (3, in the paper's custom units) and turns off
+//   only after a full window (50 reports = 100 ms) passes with every jerk
+//   below the threshold.
+//
+// The thresholds are calibrated once per accelerometer type, not per use —
+// they are exposed as Params so the ablation bench can sweep them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sensors/accelerometer.h"
+
+namespace sh::sensors {
+
+class MovementDetector {
+ public:
+  struct Params {
+    double jerk_threshold = 3.0;
+    int hold_window_reports = 50;  ///< Reports of quiet before H drops.
+    int mean_length = 5;           ///< Reports per averaging window.
+  };
+
+  MovementDetector() : MovementDetector(Params{}) {}
+  explicit MovementDetector(Params params);
+
+  /// Feeds one report; returns the updated hint value. Until two full
+  /// averaging windows are buffered the hint stays at its initial 0.
+  bool update(const AccelReport& report);
+
+  /// Most recently computed hint value (the "movement hint service" query).
+  bool moving() const noexcept { return hint_; }
+
+  /// Jerk value computed for the last update (0 before warm-up). Exposed for
+  /// the Fig 2-2 reproduction and for calibration tests.
+  double last_jerk() const noexcept { return last_jerk_; }
+
+  const Params& params() const noexcept { return params_; }
+
+  void reset();
+
+ private:
+  Params params_;
+  std::deque<AccelReport> window_;  ///< Last 2 * mean_length reports.
+  bool hint_ = false;
+  double last_jerk_ = 0.0;
+  int reports_since_high_jerk_ = 0;
+};
+
+}  // namespace sh::sensors

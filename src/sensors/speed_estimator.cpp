@@ -1,0 +1,43 @@
+#include "sensors/speed_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sh::sensors {
+
+SpeedEstimator::SpeedEstimator(Params params) : params_(params) {}
+
+void SpeedEstimator::update_gps(const GpsFix& fix) {
+  if (!fix.valid) return;
+  gps_speed_ = has_gps_
+                   ? params_.gps_weight * fix.speed_mps +
+                         (1.0 - params_.gps_weight) * gps_speed_
+                   : fix.speed_mps;
+  has_gps_ = true;
+}
+
+void SpeedEstimator::update_accel(const AccelReport& report,
+                                  bool moving_hint) {
+  moving_ = moving_hint;
+  if (has_prev_) {
+    const double change = std::sqrt(
+        (report.x - prev_x_) * (report.x - prev_x_) +
+        (report.y - prev_y_) * (report.y - prev_y_) +
+        (report.z - prev_z_) * (report.z - prev_z_));
+    activity_ = params_.accel_alpha * change +
+                (1.0 - params_.accel_alpha) * activity_;
+  }
+  prev_x_ = report.x;
+  prev_y_ = report.y;
+  prev_z_ = report.z;
+  has_prev_ = true;
+}
+
+double SpeedEstimator::speed_mps() const noexcept {
+  if (has_gps_) return gps_speed_;
+  if (!moving_) return 0.0;
+  return std::min(params_.max_indoor_speed,
+                  activity_ * params_.accel_activity_scale);
+}
+
+}  // namespace sh::sensors

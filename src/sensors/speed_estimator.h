@@ -1,0 +1,43 @@
+// Speed estimation (§2.2.3): GPS speed outdoors; indoors a coarse estimate
+// from accelerometer activity (the paper notes indoor speeds span a small
+// range, so coarse is acceptable). The estimate decays to zero when the
+// movement detector reports the device still.
+#pragma once
+
+#include "sensors/accelerometer.h"
+#include "sensors/gps.h"
+
+namespace sh::sensors {
+
+class SpeedEstimator {
+ public:
+  struct Params {
+    double gps_weight = 0.7;          ///< Blend of new GPS sample into estimate.
+    double accel_activity_scale = 0.35;  ///< Custom-units activity -> m/s.
+    double accel_alpha = 0.01;        ///< EWMA rate for accel activity.
+    double max_indoor_speed = 3.0;    ///< Walking-range cap indoors.
+  };
+
+  SpeedEstimator() : SpeedEstimator(Params{}) {}
+  explicit SpeedEstimator(Params params);
+
+  void update_gps(const GpsFix& fix);
+  /// Feeds one accelerometer report along with the current movement hint.
+  void update_accel(const AccelReport& report, bool moving_hint);
+
+  /// Current best speed estimate (m/s).
+  double speed_mps() const noexcept;
+  /// True if the estimate is based on GPS (outdoors) rather than activity.
+  bool gps_based() const noexcept { return has_gps_; }
+
+ private:
+  Params params_;
+  double gps_speed_ = 0.0;
+  bool has_gps_ = false;
+  double activity_ = 0.0;  ///< EWMA of report-to-report force change.
+  double prev_x_ = 0.0, prev_y_ = 0.0, prev_z_ = 0.0;
+  bool has_prev_ = false;
+  bool moving_ = false;
+};
+
+}  // namespace sh::sensors

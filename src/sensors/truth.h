@@ -1,0 +1,62 @@
+// Ground-truth kinematics feeding the positioning sensors.
+//
+// Sensor simulators observe a noiseless KinematicSample and add their own
+// error models. The default track derives straight-line motion from a
+// MobilityScenario with an optional slow heading drift.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+
+#include "sim/mobility.h"
+#include "util/time.h"
+
+namespace sh::sensors {
+
+struct KinematicSample {
+  double x_m = 0.0;
+  double y_m = 0.0;
+  double speed_mps = 0.0;
+  double heading_deg = 0.0;  ///< Degrees clockwise from north.
+  bool moving = false;
+};
+
+using TruthTrack = std::function<KinematicSample(Time)>;
+
+/// Builds a track from a mobility scenario: the device moves along
+/// `heading_deg` (drifting by `heading_drift_dps` degrees/second while
+/// moving) at the scenario's speed.
+inline TruthTrack truth_from_scenario(sim::MobilityScenario scenario,
+                                      double heading_deg = 90.0,
+                                      double heading_drift_dps = 0.0) {
+  return [scenario = std::move(scenario), heading_deg,
+          heading_drift_dps](Time t) {
+    KinematicSample s;
+    s.moving = scenario.moving_at(t);
+    s.speed_mps = scenario.speed_at(t);
+    s.heading_deg = heading_deg;
+    // Integrate position and heading over the scenario phases up to t.
+    double x = 0.0, y = 0.0, heading = heading_deg;
+    Time start = 0;
+    for (const auto& phase : scenario.phases()) {
+      const Time end = start + phase.duration;
+      const Time upto = t < end ? t : end;
+      if (upto > start && sim::is_moving(phase.state)) {
+        const double dt = to_seconds(upto - start);
+        const double rad = heading * std::numbers::pi / 180.0;
+        x += phase.speed_mps * dt * std::sin(rad);
+        y += phase.speed_mps * dt * std::cos(rad);
+        heading += heading_drift_dps * dt;
+      }
+      if (t < end) break;
+      start = end;
+    }
+    s.x_m = x;
+    s.y_m = y;
+    s.heading_deg = heading;
+    return s;
+  };
+}
+
+}  // namespace sh::sensors

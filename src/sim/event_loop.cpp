@@ -1,0 +1,75 @@
+#include "sim/event_loop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sh::sim {
+
+EventId EventLoop::schedule_at(Time when, Callback cb) {
+  assert(when >= now_ && "cannot schedule in the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{std::max(when, now_), seq, std::move(cb)});
+  return EventId{seq};
+}
+
+EventId EventLoop::schedule_after(Duration delay, Callback cb) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventLoop::cancel(EventId id) {
+  if (!id.valid() || id.seq_ >= next_seq_) return false;
+  if (is_cancelled(id.seq_)) return false;
+  // Lazy deletion: remember the sequence number and skip it on pop. The
+  // cancelled list stays small because fired events are purged as popped.
+  cancelled_seqs_.push_back(id.seq_);
+  ++cancelled_;
+  return true;
+}
+
+bool EventLoop::is_cancelled(std::uint64_t seq) const {
+  return std::find(cancelled_seqs_.begin(), cancelled_seqs_.end(), seq) !=
+         cancelled_seqs_.end();
+}
+
+bool EventLoop::pop_and_run_one(Time until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > until) return false;
+    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).cb)};
+    queue_.pop();
+    const auto it =
+        std::find(cancelled_seqs_.begin(), cancelled_seqs_.end(), ev.seq);
+    if (it != cancelled_seqs_.end()) {
+      cancelled_seqs_.erase(it);
+      --cancelled_;
+      continue;
+    }
+    now_ = ev.when;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (pop_and_run_one(std::numeric_limits<Time>::max())) {
+  }
+}
+
+void EventLoop::run_until(Time until) {
+  while (pop_and_run_one(until)) {
+  }
+  now_ = std::max(now_, until);
+}
+
+void EventLoop::reset() {
+  queue_ = {};
+  cancelled_seqs_.clear();
+  cancelled_ = 0;
+  now_ = 0;
+  next_seq_ = 1;
+}
+
+}  // namespace sh::sim

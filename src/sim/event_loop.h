@@ -1,0 +1,82 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic engine in the ns-3 mould: events are (time,
+// sequence, callback) tuples popped in time order; ties break by scheduling
+// order so runs are exactly reproducible. All higher-level simulations
+// (trace replay, AP scheduling, vehicular mobility) run on this loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace sh::sim {
+
+/// Handle used to cancel a scheduled event.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const noexcept { return seq_ != 0; }
+
+ private:
+  friend class EventLoop;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// Single-threaded discrete-event loop with a simulated clock.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Starts at 0.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (must be >= now()).
+  /// Returns a handle usable with cancel().
+  EventId schedule_at(Time when, Callback cb);
+  /// Schedules `cb` to run `delay` after the current time.
+  EventId schedule_after(Duration delay, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id is a
+  /// harmless no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Runs until the queue is empty or the simulated clock passes `until`
+  /// (events at exactly `until` still run). Advances now() to at least
+  /// `until` when given.
+  void run();
+  void run_until(Time until);
+
+  /// Drops all pending events and resets the clock to 0.
+  void reset();
+
+  std::size_t pending() const noexcept { return queue_.size() - cancelled_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run_one(Time until);
+  bool is_cancelled(std::uint64_t seq) const;
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_seqs_;
+  std::size_t cancelled_ = 0;
+};
+
+}  // namespace sh::sim

@@ -1,0 +1,13 @@
+// Common identifier types shared across subsystems.
+#pragma once
+
+#include <cstdint>
+
+namespace sh::sim {
+
+/// Identifies a node (client, AP, mesh node, vehicle) within a simulation.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFU;
+
+}  // namespace sh::sim

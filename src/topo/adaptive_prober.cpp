@@ -1,0 +1,32 @@
+#include "topo/adaptive_prober.h"
+
+#include <cassert>
+
+namespace sh::topo {
+
+AdaptiveProber::AdaptiveProber(MovingQuery query, Params params)
+    : query_(std::move(query)), params_(params) {
+  assert(query_);
+  assert(params_.static_probes_per_s > 0.0);
+  assert(params_.mobile_probes_per_s >= params_.static_probes_per_s);
+}
+
+std::vector<Time> AdaptiveProber::schedule(Duration total) const {
+  const auto static_interval =
+      static_cast<Duration>(1e6 / params_.static_probes_per_s);
+  const auto mobile_interval =
+      static_cast<Duration>(1e6 / params_.mobile_probes_per_s);
+
+  std::vector<Time> out;
+  Time last_moving = -params_.hold_after_stop - 1;  // "never"
+  Time t = 0;
+  while (t < total) {
+    out.push_back(t);
+    if (query_(t)) last_moving = t;
+    const bool fast = (t - last_moving) <= params_.hold_after_stop;
+    t += fast ? mobile_interval : static_interval;
+  }
+  return out;
+}
+
+}  // namespace sh::topo

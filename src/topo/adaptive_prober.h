@@ -1,0 +1,43 @@
+// Hint-aware topology maintenance (paper §4.2): probe slowly while static,
+// fast while the neighbor (or the node itself) is moving, and keep the fast
+// rate for a hold period after motion stops so the estimation window drains
+// stale samples. Rates default to the paper's 1 probe/s static and
+// 10 probes/s mobile with a 1 s hold.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "topo/probing_eval.h"
+#include "util/time.h"
+
+namespace sh::topo {
+
+class AdaptiveProber {
+ public:
+  struct Params {
+    double static_probes_per_s = 1.0;
+    double mobile_probes_per_s = 10.0;
+    Duration hold_after_stop = kSecond;
+  };
+
+  /// Movement hint as known to the prober at a given time (wired to a
+  /// HintStore, a detector, or ground truth with injected latency).
+  using MovingQuery = std::function<bool(Time)>;
+
+  AdaptiveProber(MovingQuery query) : AdaptiveProber(std::move(query), Params{}) {}
+  AdaptiveProber(MovingQuery query, Params params);
+
+  /// The probe schedule over [0, total): after each probe, the next one is
+  /// scheduled at the interval implied by the hint state at that moment
+  /// (fast while moving or within the hold period after motion stops).
+  std::vector<Time> schedule(Duration total) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  MovingQuery query_;
+  Params params_;
+};
+
+}  // namespace sh::topo

@@ -1,0 +1,26 @@
+#include "topo/etx.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sh::topo {
+namespace {
+constexpr double kFloor = 1e-6;  // Avoids division by zero for dead links.
+}
+
+double etx(double p_forward, double p_reverse) {
+  assert(p_forward >= 0.0 && p_forward <= 1.0);
+  assert(p_reverse >= 0.0 && p_reverse <= 1.0);
+  return 1.0 / std::max(p_forward * p_reverse, kFloor);
+}
+
+MisrankAnalysis misrank_analysis(double p1, double p2, double delta) {
+  assert(p1 >= p2);
+  MisrankAnalysis out;
+  out.wrong_pick_possible = p2 + delta >= p1 - delta;
+  out.penalty = 1.0 / std::max(p2, kFloor) - 1.0 / std::max(p1, kFloor);
+  out.overhead = p1 / std::max(p2, kFloor) - 1.0;
+  return out;
+}
+
+}  // namespace sh::topo

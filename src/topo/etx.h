@@ -1,0 +1,21 @@
+// ETX metric (De Couto et al., MobiCom 2003) and the paper's §4.2 analysis
+// of the cost of mis-estimated delivery probabilities.
+#pragma once
+
+namespace sh::topo {
+
+/// Expected transmission count for a link with forward delivery probability
+/// `p_forward` and reverse (ACK) probability `p_reverse`. Probabilities of 0
+/// yield an effectively infinite (very large) ETX.
+double etx(double p_forward, double p_reverse = 1.0);
+
+/// The paper's wrong-link analysis: two candidate links with true delivery
+/// probabilities p1 > p2 and a symmetric estimation error bound `delta`.
+struct MisrankAnalysis {
+  bool wrong_pick_possible;  ///< p2 + delta >= p1 - delta.
+  double penalty;            ///< Extra expected transmissions 1/p2 - 1/p1.
+  double overhead;           ///< Relative overhead p1/p2 - 1.
+};
+MisrankAnalysis misrank_analysis(double p1, double p2, double delta);
+
+}  // namespace sh::topo

@@ -1,0 +1,45 @@
+#include "topo/probe_series.h"
+
+#include <cassert>
+
+namespace sh::topo {
+
+ProbeSeries::ProbeSeries(Duration interval, std::vector<bool> fates,
+                         std::vector<bool> moving)
+    : interval_(interval), fates_(std::move(fates)), moving_(std::move(moving)) {
+  assert(interval_ > 0);
+  assert(fates_.size() == moving_.size());
+}
+
+ProbeSeries ProbeSeries::from_trace(const channel::PacketFateTrace& trace,
+                                    mac::RateIndex rate) {
+  assert(mac::valid_rate(rate));
+  std::vector<bool> fates;
+  std::vector<bool> moving;
+  fates.reserve(trace.size());
+  moving.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    fates.push_back(trace.slot(i).delivered[static_cast<std::size_t>(rate)]);
+    moving.push_back(trace.slot(i).moving);
+  }
+  return ProbeSeries(trace.slot_duration(), std::move(fates),
+                     std::move(moving));
+}
+
+std::size_t ProbeSeries::index_at(Time t) const noexcept {
+  if (fates_.empty() || t <= 0) return 0;
+  const auto idx = static_cast<std::size_t>(t / interval_);
+  return idx < fates_.size() ? idx : fates_.size() - 1;
+}
+
+double ProbeSeries::actual_probability(std::size_t i, int window) const {
+  assert(window > 0);
+  assert(i + 1 >= static_cast<std::size_t>(window));
+  assert(i < fates_.size());
+  std::size_t delivered = 0;
+  for (std::size_t j = i + 1 - static_cast<std::size_t>(window); j <= i; ++j)
+    if (fates_[j]) ++delivered;
+  return static_cast<double>(delivered) / static_cast<double>(window);
+}
+
+}  // namespace sh::topo

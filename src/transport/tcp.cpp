@@ -1,0 +1,49 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sh::transport {
+
+TcpModel::TcpModel(Params params)
+    : params_(params),
+      window_(params.initial_window),
+      ssthresh_(params.max_window),
+      current_rto_(params.min_rto) {
+  assert(params_.initial_window >= 1);
+  assert(params_.max_window >= params_.initial_window);
+}
+
+void TcpModel::on_round(Time now, int sent, int delivered) {
+  assert(delivered >= 0 && delivered <= sent);
+  if (sent == 0) return;
+
+  if (delivered == sent) {
+    // Clean round: slow start below ssthresh, congestion avoidance above.
+    window_ = window_ < ssthresh_ ? std::min(window_ * 2, params_.max_window)
+                                  : std::min(window_ + 1, params_.max_window);
+    current_rto_ = params_.min_rto;
+    return;
+  }
+  if (delivered >= params_.dupack_threshold) {
+    // Loss with enough returning ACKs for fast retransmit: halve.
+    ssthresh_ = std::max(window_ / 2, 2);
+    window_ = ssthresh_;
+    current_rto_ = params_.min_rto;
+    return;
+  }
+  // The round was wiped out: retransmission timeout, exponential backoff.
+  ssthresh_ = std::max(window_ / 2, 2);
+  window_ = 1;
+  stall_until_ = now + current_rto_;
+  current_rto_ = std::min(current_rto_ * 2, params_.max_rto);
+}
+
+void TcpModel::reset() {
+  window_ = params_.initial_window;
+  ssthresh_ = params_.max_window;
+  current_rto_ = params_.min_rto;
+  stall_until_ = 0;
+}
+
+}  // namespace sh::transport

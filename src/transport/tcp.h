@@ -1,0 +1,50 @@
+// Simplified TCP congestion model.
+//
+// The evaluation needs TCP only for its *reaction to loss*: window growth on
+// clean rounds, multiplicative decrease on isolated loss, and RTO stalls with
+// exponential backoff when a loss burst wipes a whole window (the paper
+// observes TCP timing out under vehicular loss, Chapter 3.5, and the AP
+// pruning pathology of Fig 5-1). The model is round-based: the link layer
+// sends up to window() packets back-to-back, then reports how many arrived.
+#pragma once
+
+#include "util/time.h"
+
+namespace sh::transport {
+
+class TcpModel {
+ public:
+  struct Params {
+    int initial_window = 2;
+    int max_window = 64;
+    int dupack_threshold = 3;  ///< Delivered packets needed for fast recovery.
+    Duration min_rto = 200 * kMillisecond;
+    Duration max_rto = 3 * kSecond;
+  };
+
+  TcpModel() : TcpModel(Params{}) {}
+  explicit TcpModel(Params params);
+
+  /// Packets the sender may transmit in the current round.
+  int window() const noexcept { return window_; }
+
+  /// True while the connection is stalled waiting out an RTO.
+  bool stalled(Time now) const noexcept { return now < stall_until_; }
+  Time stall_until() const noexcept { return stall_until_; }
+
+  /// Reports the outcome of one round of `sent` packets of which `delivered`
+  /// arrived. `now` is the time at the end of the round.
+  void on_round(Time now, int sent, int delivered);
+
+  int slow_start_threshold() const noexcept { return ssthresh_; }
+  void reset();
+
+ private:
+  Params params_;
+  int window_;
+  int ssthresh_;
+  Duration current_rto_;
+  Time stall_until_ = 0;
+};
+
+}  // namespace sh::transport

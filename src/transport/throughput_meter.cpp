@@ -1,0 +1,38 @@
+#include "transport/throughput_meter.h"
+
+#include <cassert>
+
+namespace sh::transport {
+
+ThroughputMeter::ThroughputMeter(Duration bucket) : bucket_(bucket) {
+  assert(bucket > 0);
+}
+
+void ThroughputMeter::add(Time t, std::size_t bytes) {
+  if (t < 0) t = 0;
+  const auto idx = static_cast<std::size_t>(t / bucket_);
+  if (idx >= bucket_bytes_.size()) bucket_bytes_.resize(idx + 1, 0);
+  bucket_bytes_[idx] += bytes;
+  total_bytes_ += bytes;
+}
+
+double ThroughputMeter::mbps(Time end) const noexcept {
+  if (end <= 0) return 0.0;
+  return static_cast<double>(total_bytes_) * 8.0 / to_seconds(end) / 1e6;
+}
+
+std::vector<ThroughputMeter::Point> ThroughputMeter::series(Time end) const {
+  std::vector<Point> out;
+  const auto buckets = static_cast<std::size_t>((end + bucket_ - 1) / bucket_);
+  out.reserve(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const std::uint64_t bytes = i < bucket_bytes_.size() ? bucket_bytes_[i] : 0;
+    Point p;
+    p.time_s = to_seconds(static_cast<Time>(i) * bucket_);
+    p.mbps = static_cast<double>(bytes) * 8.0 / to_seconds(bucket_) / 1e6;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sh::transport

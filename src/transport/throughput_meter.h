@@ -1,0 +1,37 @@
+// Time-bucketed throughput accounting, used for the Fig 5-1 style
+// throughput-over-time plots and for per-client totals in the AP simulator.
+#pragma once
+
+#include <vector>
+
+#include "util/time.h"
+
+namespace sh::transport {
+
+class ThroughputMeter {
+ public:
+  explicit ThroughputMeter(Duration bucket = kSecond);
+
+  /// Records `bytes` delivered at time `t`. Times must be non-decreasing
+  /// across calls for the series to be meaningful; totals are always right.
+  void add(Time t, std::size_t bytes);
+
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Average goodput in Mbit/s over [0, end].
+  double mbps(Time end) const noexcept;
+
+  struct Point {
+    double time_s;
+    double mbps;
+  };
+  /// Per-bucket throughput series covering [0, end].
+  std::vector<Point> series(Time end) const;
+
+ private:
+  Duration bucket_;
+  std::vector<std::uint64_t> bucket_bytes_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace sh::transport

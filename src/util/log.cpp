@@ -1,0 +1,32 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace sh::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[%s] %s\n", tag(level), message.c_str());
+}
+
+}  // namespace sh::util

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Simulations are hot loops, so logging is compiled
+// around a cheap level check and formats lazily via iostream only when the
+// level is enabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sh::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr with a level tag. Prefer the SH_LOG macro.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sh::util
+
+/// Usage: SH_LOG(kInfo) << "trace " << id << " done";
+#define SH_LOG(level)                                                \
+  if (::sh::util::LogLevel::level < ::sh::util::log_level()) {       \
+  } else                                                             \
+    ::sh::util::detail::LogStream(::sh::util::LogLevel::level)

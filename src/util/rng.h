@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic component in the library takes an explicit seed (or an
+// Rng&) so that experiments are exactly reproducible.  The generator is
+// xoshiro256++ (public-domain algorithm by Blackman & Vigna): fast, tiny
+// state, and high statistical quality — more than adequate for channel /
+// mobility simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace sh::util {
+
+/// xoshiro256++ generator, seeded via splitmix64 so that any 64-bit seed —
+/// including 0 — produces a well-mixed state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+  /// Re-initialize state from a 64-bit seed.
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Raw 64-bit output (UniformRandomBitGenerator interface).
+  result_type operator()() noexcept { return next(); }
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean) noexcept;
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) noexcept;
+
+  /// Derive an independent child generator (for per-entity streams). The
+  /// child's stream is decorrelated from the parent's by splitmix hashing.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t next() noexcept;
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sh::util

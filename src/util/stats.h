@@ -1,0 +1,135 @@
+// Small statistics toolkit used by the measurement and benchmark layers:
+// running moments, order statistics, confidence intervals, EWMA smoothing,
+// fixed-capacity sliding windows and histograms.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace sh::util {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void clear() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of the 95% confidence interval of the mean, using the normal
+  /// approximation (the evaluation aggregates 10+ traces per point, where the
+  /// normal and t intervals are within a few percent of each other).
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers order-statistics queries (median, arbitrary
+/// quantiles). Storage is O(n); queries sort a scratch copy lazily.
+class Percentile {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Quantile by linear interpolation between closest ranks; q in [0, 1].
+  /// Requires at least one sample.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Exponentially weighted moving average. `alpha` is the weight of the newest
+/// sample; the first sample initializes the average directly.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) noexcept : alpha_(alpha) {}
+
+  void add(double x) noexcept {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+  void clear() noexcept { initialized_ = false; value_ = 0.0; }
+
+  bool initialized() const noexcept { return initialized_; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Fixed-capacity sliding window over boolean outcomes (e.g. probe delivery).
+/// Maintains the success count incrementally so rate() is O(1).
+class SlidingWindowRate {
+ public:
+  explicit SlidingWindowRate(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void add(bool success);
+  void clear() { window_.clear(); successes_ = 0; }
+
+  std::size_t size() const noexcept { return window_.size(); }
+  bool full() const noexcept { return window_.size() == capacity_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Fraction of successes among the samples currently in the window;
+  /// 0 when empty.
+  double rate() const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::deque<bool> window_;
+  std::size_t successes_ = 0;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped to the edge
+/// bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void clear() noexcept { std::fill(counts_.begin(), counts_.end(), 0); total_ = 0; }
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const noexcept;
+  double bin_hi(std::size_t bin) const noexcept;
+  /// Fraction of samples in the given bin; 0 when the histogram is empty.
+  double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sh::util

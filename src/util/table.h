@@ -1,0 +1,37 @@
+// Text table / CSV emitters used by the benchmark binaries so that every
+// reproduced figure prints its rows in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sh::util {
+
+/// Accumulates rows of string cells and renders them as an aligned monospace
+/// table (for terminals) or CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fmt(double value, int decimals = 3);
+/// Formats `value ± half` (e.g. a mean with its 95% CI half-width).
+std::string fmt_pm(double value, double half, int decimals = 3);
+
+}  // namespace sh::util

@@ -1,0 +1,39 @@
+// Simulated-time representation shared by every subsystem.
+//
+// All simulation timestamps are integral microseconds since simulation start.
+// An integral representation keeps event ordering exact (no FP drift over long
+// runs) and makes trace slot arithmetic (5 ms slots, 2 ms sensor reports)
+// trivially exact.
+#pragma once
+
+#include <cstdint>
+
+namespace sh {
+
+/// Simulated time in microseconds since simulation start.
+using Time = std::int64_t;
+
+/// Durations share the representation of absolute times.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1'000'000;
+
+/// Convenience constructors, so call sites read `5 * kMillisecond` or
+/// `seconds(2.5)` instead of raw integer literals.
+constexpr Duration microseconds(std::int64_t us) noexcept { return us; }
+constexpr Duration milliseconds(std::int64_t ms) noexcept { return ms * kMillisecond; }
+constexpr Duration seconds(double s) noexcept {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Conversions back to floating-point for reporting.
+constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_milliseconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace sh

@@ -1,0 +1,21 @@
+#include "vanet/cte.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sh::vanet {
+
+double cte(double heading_diff_deg) {
+  assert(heading_diff_deg >= 0.0 && heading_diff_deg <= 180.0);
+  return 1.0 / std::max(heading_diff_deg, 1.0);
+}
+
+double route_cte(std::span<const double> hop_heading_diffs_deg) {
+  double min_cte = std::numeric_limits<double>::infinity();
+  for (const double diff : hop_heading_diffs_deg)
+    min_cte = std::min(min_cte, cte(diff));
+  return hop_heading_diffs_deg.empty() ? 0.0 : min_cte;
+}
+
+}  // namespace sh::vanet

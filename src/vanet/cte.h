@@ -1,0 +1,18 @@
+// Connection Time Estimate metric (paper §5.1.1): the inverse of the heading
+// difference between the two endpoints of a link. On road-constrained
+// mobility, similar headings predict long shared trajectories; a route's CTE
+// is the minimum over its hops (the first link to break ends the route).
+#pragma once
+
+#include <span>
+
+namespace sh::vanet {
+
+/// CTE of a single link from the heading difference in [0, 180] degrees.
+/// The difference is floored at 1 degree so aligned vehicles score finite.
+double cte(double heading_diff_deg);
+
+/// Bottleneck CTE of a multi-hop route.
+double route_cte(std::span<const double> hop_heading_diffs_deg);
+
+}  // namespace sh::vanet

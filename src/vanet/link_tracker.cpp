@@ -1,0 +1,57 @@
+#include "vanet/link_tracker.h"
+
+#include <map>
+#include <utility>
+
+#include "core/hints.h"
+#include "util/rng.h"
+
+namespace sh::vanet {
+
+std::vector<LinkRecord> extract_links(const TrajectoryLog& log,
+                                      double range_m, double heading_noise_deg,
+                                      std::uint64_t noise_seed) {
+  util::Rng noise_rng(noise_seed);
+  std::vector<LinkRecord> completed;
+  // Active links keyed by the (a < b) vehicle pair.
+  std::map<std::pair<int, int>, LinkRecord> active;
+
+  const int n = log.num_vehicles();
+  for (std::size_t step = 0; step < log.num_steps(); ++step) {
+    const Time now = static_cast<Time>(step) * log.step();
+    const auto& snap = log.snapshot(step);
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        const bool connected =
+            distance(snap[static_cast<std::size_t>(a)].position,
+                     snap[static_cast<std::size_t>(b)].position) <= range_m;
+        const auto key = std::make_pair(a, b);
+        const auto it = active.find(key);
+        if (connected) {
+          if (it == active.end()) {
+            LinkRecord rec;
+            rec.vehicle_a = a;
+            rec.vehicle_b = b;
+            rec.start = now;
+            rec.end = now;
+            rec.heading_diff_start_deg = core::heading_difference(
+                snap[static_cast<std::size_t>(a)].heading_deg +
+                    noise_rng.normal(0.0, heading_noise_deg),
+                snap[static_cast<std::size_t>(b)].heading_deg +
+                    noise_rng.normal(0.0, heading_noise_deg));
+            active.emplace(key, rec);
+          } else {
+            it->second.end = now;
+          }
+        } else if (it != active.end()) {
+          completed.push_back(it->second);
+          active.erase(it);
+        }
+      }
+    }
+  }
+  for (auto& [key, rec] : active) completed.push_back(rec);
+  return completed;
+}
+
+}  // namespace sh::vanet

@@ -1,0 +1,196 @@
+#include "vanet/road_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace sh::vanet {
+
+double distance(const Vec2& a, const Vec2& b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double heading_of(const Vec2& from, const Vec2& to) noexcept {
+  const double dx = to.x - from.x;
+  const double dy = to.y - from.y;
+  // atan2(dx, dy): 0 = north (+y), 90 = east (+x), clockwise.
+  double deg = std::atan2(dx, dy) * 180.0 / std::numbers::pi;
+  if (deg < 0.0) deg += 360.0;
+  return deg;
+}
+
+RoadNetwork RoadNetwork::grid(int cols, int rows, double spacing_m) {
+  assert(cols >= 2 && rows >= 2);
+  assert(spacing_m > 0.0);
+  RoadNetwork net;
+  net.spacing_m_ = spacing_m;
+  net.positions_.reserve(static_cast<std::size_t>(cols * rows));
+  net.adjacency_.resize(static_cast<std::size_t>(cols * rows));
+  auto id = [cols](int c, int r) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      net.positions_.push_back(Vec2{c * spacing_m, r * spacing_m});
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      auto& adj = net.adjacency_[static_cast<std::size_t>(id(c, r))];
+      if (c > 0) adj.push_back(id(c - 1, r));
+      if (c + 1 < cols) adj.push_back(id(c + 1, r));
+      if (r > 0) adj.push_back(id(c, r - 1));
+      if (r + 1 < rows) adj.push_back(id(c, r + 1));
+    }
+  }
+  return net;
+}
+
+RoadNetwork RoadNetwork::irregular_grid(int cols, int rows, double spacing_m,
+                                        double jitter_frac,
+                                        std::uint64_t seed) {
+  assert(jitter_frac >= 0.0 && jitter_frac < 0.5);
+  RoadNetwork net = grid(cols, rows, spacing_m);
+  util::Rng rng(seed);
+  const double jitter = jitter_frac * spacing_m;
+  for (auto& pos : net.positions_) {
+    pos.x += rng.uniform(-jitter, jitter);
+    pos.y += rng.uniform(-jitter, jitter);
+  }
+  return net;
+}
+
+RoadNetwork RoadNetwork::chords_city(int num_roads, double size_m,
+                                     std::uint64_t seed, double cluster_frac,
+                                     double cluster_spread_deg) {
+  assert(num_roads >= 2);
+  assert(size_m > 0.0);
+  assert(cluster_frac >= 0.0 && cluster_frac <= 1.0);
+  util::Rng rng(seed);
+  const double base_angle = rng.uniform(0.0, std::numbers::pi / 2.0);
+  const double spread_rad = cluster_spread_deg * std::numbers::pi / 180.0;
+
+  struct Road {
+    Vec2 point;   // A point the road passes through.
+    Vec2 dir;     // Unit direction.
+    double t_min = 0.0, t_max = 0.0;  // Param range inside the square.
+  };
+  std::vector<Road> roads;
+  roads.reserve(static_cast<std::size_t>(num_roads));
+  for (int i = 0; i < num_roads; ++i) {
+    Road road;
+    double angle;
+    if (rng.uniform() < cluster_frac) {
+      const double principal =
+          rng.bernoulli(0.5) ? base_angle : base_angle + std::numbers::pi / 2.0;
+      angle = principal + rng.normal(0.0, spread_rad);
+    } else {
+      angle = rng.uniform(0.0, std::numbers::pi);
+    }
+    road.dir = Vec2{std::cos(angle), std::sin(angle)};
+    road.point = Vec2{rng.uniform(0.1 * size_m, 0.9 * size_m),
+                      rng.uniform(0.1 * size_m, 0.9 * size_m)};
+    // Clip the infinite line to the square: intersect with x=0, x=size,
+    // y=0, y=size and keep the [t_min, t_max] span inside.
+    double t_min = -1e18, t_max = 1e18;
+    auto clip = [&](double p, double d) {
+      if (std::fabs(d) < 1e-12) return;  // Parallel to this boundary pair.
+      double t0 = (0.0 - p) / d;
+      double t1 = (size_m - p) / d;
+      if (t0 > t1) std::swap(t0, t1);
+      t_min = std::max(t_min, t0);
+      t_max = std::min(t_max, t1);
+    };
+    clip(road.point.x, road.dir.x);
+    clip(road.point.y, road.dir.y);
+    road.t_min = t_min;
+    road.t_max = t_max;
+    roads.push_back(road);
+  }
+
+  RoadNetwork net;
+  net.spacing_m_ = size_m / std::sqrt(static_cast<double>(num_roads));
+  auto node_at = [&net](const Vec2& pos) -> Intersection {
+    for (std::size_t i = 0; i < net.positions_.size(); ++i) {
+      if (distance(net.positions_[i], pos) < 1.0)
+        return static_cast<Intersection>(i);
+    }
+    net.positions_.push_back(pos);
+    net.adjacency_.emplace_back();
+    return static_cast<Intersection>(net.positions_.size() - 1);
+  };
+
+  // Per road: collect the endpoints plus every in-bounds crossing with the
+  // other roads, ordered along the road, then chain them into edges.
+  for (std::size_t i = 0; i < roads.size(); ++i) {
+    const Road& a = roads[i];
+    std::vector<double> ts{a.t_min, a.t_max};
+    for (std::size_t j = 0; j < roads.size(); ++j) {
+      if (j == i) continue;
+      const Road& b = roads[j];
+      // Solve a.point + t*a.dir == b.point + s*b.dir.
+      const double det = a.dir.x * (-b.dir.y) - a.dir.y * (-b.dir.x);
+      if (std::fabs(det) < 1e-9) continue;  // Parallel roads.
+      const double rx = b.point.x - a.point.x;
+      const double ry = b.point.y - a.point.y;
+      const double t = (rx * (-b.dir.y) - ry * (-b.dir.x)) / det;
+      const double s = (a.dir.x * ry - a.dir.y * rx) / det;
+      if (t < a.t_min || t > a.t_max || s < b.t_min || s > b.t_max) continue;
+      ts.push_back(t);
+    }
+    std::sort(ts.begin(), ts.end());
+    Intersection prev = -1;
+    double prev_t = 0.0;
+    for (const double t : ts) {
+      if (prev != -1 && t - prev_t < 20.0) continue;  // Merge near crossings.
+      const Vec2 pos{a.point.x + t * a.dir.x, a.point.y + t * a.dir.y};
+      const Intersection node = node_at(pos);
+      if (prev != -1 && node != prev) {
+        auto& adj_prev = net.adjacency_[static_cast<std::size_t>(prev)];
+        auto& adj_node = net.adjacency_[static_cast<std::size_t>(node)];
+        if (std::find(adj_prev.begin(), adj_prev.end(), node) ==
+            adj_prev.end()) {
+          adj_prev.push_back(node);
+          adj_node.push_back(prev);
+        }
+      }
+      prev = node;
+      prev_t = t;
+    }
+  }
+  return net;
+}
+
+std::vector<RoadNetwork::Intersection> RoadNetwork::shortest_path(
+    Intersection from, Intersection to) const {
+  assert(from >= 0 && from < num_intersections());
+  assert(to >= 0 && to < num_intersections());
+  if (from == to) return {};
+  std::vector<Intersection> parent(positions_.size(), -1);
+  std::queue<Intersection> frontier;
+  frontier.push(from);
+  parent[static_cast<std::size_t>(from)] = from;
+  while (!frontier.empty()) {
+    const Intersection cur = frontier.front();
+    frontier.pop();
+    if (cur == to) break;
+    for (const Intersection next : neighbors(cur)) {
+      if (parent[static_cast<std::size_t>(next)] != -1) continue;
+      parent[static_cast<std::size_t>(next)] = cur;
+      frontier.push(next);
+    }
+  }
+  if (parent[static_cast<std::size_t>(to)] == -1) return {};
+  std::vector<Intersection> path;
+  for (Intersection cur = to; cur != from;
+       cur = parent[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace sh::vanet

@@ -1,0 +1,213 @@
+#include "vanet/route_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+#include "core/hints.h"
+#include "util/stats.h"
+#include "vanet/cte.h"
+
+namespace sh::vanet {
+namespace {
+
+std::vector<std::vector<int>> proximity_graph(
+    const std::vector<VehicleState>& snapshot, double range_m) {
+  const int n = static_cast<int>(snapshot.size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (distance(snapshot[static_cast<std::size_t>(a)].position,
+                   snapshot[static_cast<std::size_t>(b)].position) <=
+          range_m) {
+        adj[static_cast<std::size_t>(a)].push_back(b);
+        adj[static_cast<std::size_t>(b)].push_back(a);
+      }
+    }
+  }
+  return adj;
+}
+
+std::optional<Route> bfs_route(const std::vector<std::vector<int>>& adj,
+                               int src, int dst, util::Rng& rng) {
+  std::vector<int> parent(adj.size(), -1);
+  std::queue<int> frontier;
+  frontier.push(src);
+  parent[static_cast<std::size_t>(src)] = src;
+  while (!frontier.empty()) {
+    const int cur = frontier.front();
+    frontier.pop();
+    if (cur == dst) break;
+    // Random tie-break: shuffle neighbor visit order.
+    auto neighbors = adj[static_cast<std::size_t>(cur)];
+    for (std::size_t i = neighbors.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(neighbors[i - 1], neighbors[j]);
+    }
+    for (const int next : neighbors) {
+      if (parent[static_cast<std::size_t>(next)] != -1) continue;
+      parent[static_cast<std::size_t>(next)] = cur;
+      frontier.push(next);
+    }
+  }
+  if (parent[static_cast<std::size_t>(dst)] == -1) return std::nullopt;
+  Route route;
+  for (int cur = dst; cur != src; cur = parent[static_cast<std::size_t>(cur)])
+    route.vehicles.push_back(cur);
+  route.vehicles.push_back(src);
+  std::reverse(route.vehicles.begin(), route.vehicles.end());
+  return route;
+}
+
+/// Widest path maximizing the bottleneck CTE (Dijkstra variant). Heading
+/// values come through the quantized wire form, as real probes would carry.
+std::optional<Route> cte_route(const std::vector<VehicleState>& snapshot,
+                               const std::vector<std::vector<int>>& adj,
+                               int src, int dst) {
+  const auto n = adj.size();
+  std::vector<double> best(n, -1.0);
+  std::vector<int> parent(n, -1);
+  using Entry = std::pair<double, int>;  // (bottleneck CTE, vehicle)
+  std::priority_queue<Entry> heap;
+  best[static_cast<std::size_t>(src)] =
+      std::numeric_limits<double>::infinity();
+  heap.emplace(best[static_cast<std::size_t>(src)], src);
+  while (!heap.empty()) {
+    const auto [value, cur] = heap.top();
+    heap.pop();
+    if (value < best[static_cast<std::size_t>(cur)]) continue;
+    if (cur == dst) break;
+    for (const int next : adj[static_cast<std::size_t>(cur)]) {
+      const double diff = core::heading_difference(
+          snapshot[static_cast<std::size_t>(cur)].heading_deg,
+          snapshot[static_cast<std::size_t>(next)].heading_deg);
+      const double bottleneck = std::min(value, cte(diff));
+      if (bottleneck > best[static_cast<std::size_t>(next)]) {
+        best[static_cast<std::size_t>(next)] = bottleneck;
+        parent[static_cast<std::size_t>(next)] = cur;
+        heap.emplace(bottleneck, next);
+      }
+    }
+  }
+  if (parent[static_cast<std::size_t>(dst)] == -1 && src != dst)
+    return std::nullopt;
+  Route route;
+  for (int cur = dst; cur != src; cur = parent[static_cast<std::size_t>(cur)])
+    route.vehicles.push_back(cur);
+  route.vehicles.push_back(src);
+  std::reverse(route.vehicles.begin(), route.vehicles.end());
+  return route;
+}
+
+}  // namespace
+
+std::optional<Route> build_route(const std::vector<VehicleState>& snapshot,
+                                 int src, int dst, double range_m,
+                                 RouteStrategy strategy, util::Rng& rng) {
+  assert(src != dst);
+  const auto adj = proximity_graph(snapshot, range_m);
+  if (strategy == RouteStrategy::kHintFree) return bfs_route(adj, src, dst, rng);
+  return cte_route(snapshot, adj, src, dst);
+}
+
+double route_lifetime_s(const TrajectoryLog& log, const Route& route,
+                        std::size_t start_step, double range_m) {
+  assert(route.vehicles.size() >= 2);
+  double lifetime = 0.0;
+  for (std::size_t step = start_step + 1; step < log.num_steps(); ++step) {
+    const auto& snap = log.snapshot(step);
+    bool connected = true;
+    for (std::size_t h = 0; h + 1 < route.vehicles.size(); ++h) {
+      const auto a = static_cast<std::size_t>(route.vehicles[h]);
+      const auto b = static_cast<std::size_t>(route.vehicles[h + 1]);
+      if (distance(snap[a].position, snap[b].position) > range_m) {
+        connected = false;
+        break;
+      }
+    }
+    if (!connected) break;
+    lifetime += to_seconds(log.step());
+  }
+  return lifetime;
+}
+
+std::vector<RouteStabilityResult> compare_route_strategies(
+    const TrajectoryLog& log, const RouteExperimentConfig& config) {
+  util::Rng rng(config.seed);
+  util::Percentile lifetimes[2];
+  util::RunningStats means[2];
+  std::size_t evaluated = 0;
+
+  const int n = log.num_vehicles();
+  // Leave room to observe lifetimes; sample start times in the first half.
+  const std::size_t max_start = log.num_steps() / 2;
+  int attempts = 0;
+  const int max_attempts = config.samples * 50;
+  while (evaluated < static_cast<std::size_t>(config.samples) &&
+         attempts++ < max_attempts) {
+    const auto step = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(max_start) - 1));
+    const int src = static_cast<int>(rng.uniform_int(0, n - 1));
+
+    // Pick a destination a few hops away over the build graph so both
+    // strategies face a genuine multi-hop situation.
+    const auto& snap = log.snapshot(step);
+    const auto adj = proximity_graph(snap, config.build_range_m);
+    std::vector<int> hops(static_cast<std::size_t>(n), -1);
+    std::queue<int> frontier;
+    frontier.push(src);
+    hops[static_cast<std::size_t>(src)] = 0;
+    std::vector<int> candidates;
+    while (!frontier.empty()) {
+      const int cur = frontier.front();
+      frontier.pop();
+      const int h = hops[static_cast<std::size_t>(cur)];
+      if (h >= config.max_hops) continue;
+      for (const int next : adj[static_cast<std::size_t>(cur)]) {
+        if (hops[static_cast<std::size_t>(next)] != -1) continue;
+        hops[static_cast<std::size_t>(next)] = h + 1;
+        if (h + 1 >= config.min_hops) candidates.push_back(next);
+        frontier.push(next);
+      }
+    }
+    if (candidates.empty()) continue;
+    const int dst = candidates[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(candidates.size()) - 1))];
+
+    const auto hint_free = build_route(snap, src, dst, config.build_range_m,
+                                       RouteStrategy::kHintFree, rng);
+    if (!hint_free ||
+        hint_free->vehicles.size() <
+            static_cast<std::size_t>(config.min_hops) + 1) {
+      continue;
+    }
+    const auto cte_based = build_route(snap, src, dst, config.build_range_m,
+                                       RouteStrategy::kCte, rng);
+    if (!cte_based) continue;
+
+    const double life_free =
+        route_lifetime_s(log, *hint_free, step, config.range_m);
+    const double life_cte =
+        route_lifetime_s(log, *cte_based, step, config.range_m);
+    lifetimes[0].add(life_free);
+    lifetimes[1].add(life_cte);
+    means[0].add(life_free);
+    means[1].add(life_cte);
+    ++evaluated;
+  }
+
+  std::vector<RouteStabilityResult> out(2);
+  for (int s = 0; s < 2; ++s) {
+    out[static_cast<std::size_t>(s)].routes_evaluated = evaluated;
+    if (evaluated > 0) {
+      out[static_cast<std::size_t>(s)].median_lifetime_s =
+          lifetimes[s].median();
+      out[static_cast<std::size_t>(s)].mean_lifetime_s = means[s].mean();
+    }
+  }
+  return out;
+}
+
+}  // namespace sh::vanet

@@ -1,0 +1,159 @@
+#include "vanet/traffic_sim.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sh::vanet {
+
+TrajectoryLog::TrajectoryLog(int num_vehicles, Duration step)
+    : num_vehicles_(num_vehicles), step_(step) {
+  assert(num_vehicles > 0);
+  assert(step > 0);
+}
+
+void TrajectoryLog::append(std::vector<VehicleState> snapshot) {
+  assert(static_cast<int>(snapshot.size()) == num_vehicles_);
+  snapshots_.push_back(std::move(snapshot));
+}
+
+const VehicleState& TrajectoryLog::at(std::size_t step_index,
+                                      int vehicle) const {
+  return snapshots_.at(step_index).at(static_cast<std::size_t>(vehicle));
+}
+
+TrafficSim::TrafficSim(const RoadNetwork& net, std::uint64_t seed,
+                       Params params)
+    : net_(net), rng_(seed), params_(params) {
+  assert(params_.num_vehicles > 0);
+  vehicles_.resize(static_cast<std::size_t>(params_.num_vehicles));
+  for (auto& v : vehicles_) {
+    v.cruise_speed = rng_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+    const auto start = static_cast<RoadNetwork::Intersection>(
+        rng_.uniform_int(0, net_.num_intersections() - 1));
+    v.position = net_.position(start);
+    v.path = {start};
+    v.next_waypoint = 1;  // Forces a fresh path on the first step.
+  }
+}
+
+void TrafficSim::assign_new_path(Vehicle& v) {
+  const auto from = v.path.empty()
+                        ? static_cast<RoadNetwork::Intersection>(rng_.uniform_int(
+                              0, net_.num_intersections() - 1))
+                        : v.path.back();
+  for (int attempts = 0; attempts < 16; ++attempts) {
+    const auto to = static_cast<RoadNetwork::Intersection>(
+        rng_.uniform_int(0, net_.num_intersections() - 1));
+    if (to == from) continue;
+    auto path = net_.shortest_path(from, to);
+    if (path.size() >= 2) {
+      v.path = std::move(path);
+      v.next_waypoint = 1;
+      return;
+    }
+  }
+  // Degenerate network; stay parked at the current position.
+  v.next_waypoint = v.path.size();
+}
+
+void TrafficSim::follow_road_from(Vehicle& v,
+                                  RoadNetwork::Intersection node) {
+  const auto& neighbors = net_.neighbors(node);
+  if (neighbors.empty()) return;
+
+  // Candidates exclude the node we came from, unless it's a dead end.
+  std::vector<RoadNetwork::Intersection> candidates;
+  for (const auto n : neighbors)
+    if (n != v.prev_node) candidates.push_back(n);
+  if (candidates.empty()) candidates.push_back(v.prev_node);
+
+  RoadNetwork::Intersection chosen = candidates.front();
+  if (candidates.size() > 1 && rng_.bernoulli(params_.turn_probability)) {
+    chosen = candidates[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  } else {
+    // Stay on the road: pick the neighbor whose direction deviates least
+    // from the current heading.
+    double best_dev = 1e9;
+    for (const auto n : candidates) {
+      const double h = heading_of(net_.position(node), net_.position(n));
+      double dev = std::fabs(h - v.heading_deg);
+      if (dev > 180.0) dev = 360.0 - dev;
+      if (dev < best_dev) {
+        best_dev = dev;
+        chosen = n;
+      }
+    }
+  }
+  v.prev_node = node;
+  v.path = {node, chosen};
+  v.next_waypoint = 1;
+}
+
+void TrafficSim::advance(Vehicle& v, double dt_s) {
+  double remaining = v.current_speed * dt_s;
+  while (remaining > 0.0) {
+    if (v.next_waypoint >= v.path.size()) {
+      if (params_.routing == Routing::kFollowRoad) {
+        follow_road_from(v, v.path.empty() ? 0 : v.path.back());
+      } else {
+        assign_new_path(v);
+      }
+      if (v.next_waypoint >= v.path.size()) return;  // parked
+    }
+    const Vec2 target = net_.position(v.path[v.next_waypoint]);
+    const double dist = distance(v.position, target);
+    if (dist > 1e-9) v.heading_deg = heading_of(v.position, target);
+    if (dist > remaining) {
+      const double frac = remaining / dist;
+      v.position.x += (target.x - v.position.x) * frac;
+      v.position.y += (target.y - v.position.y) * frac;
+      return;
+    }
+    v.position = target;
+    remaining -= dist;
+    ++v.next_waypoint;
+    // Arrived at an intersection: maybe wait at a light.
+    if (rng_.bernoulli(params_.stop_probability)) {
+      v.stopped_for = rng_.uniform_int(params_.min_stop, params_.max_stop);
+      return;
+    }
+  }
+}
+
+void TrafficSim::step() {
+  constexpr double kDt = 1.0;  // 1 Hz simulation, like the paper's samples.
+  for (auto& v : vehicles_) {
+    if (v.stopped_for > 0) {
+      v.stopped_for -= kSecond;
+      v.current_speed = 0.0;
+      continue;
+    }
+    v.current_speed =
+        v.cruise_speed * (1.0 + rng_.normal(0.0, params_.speed_jitter));
+    if (v.current_speed < 1.0) v.current_speed = 1.0;
+    advance(v, kDt);
+  }
+}
+
+std::vector<VehicleState> TrafficSim::snapshot() const {
+  std::vector<VehicleState> out;
+  out.reserve(vehicles_.size());
+  for (const auto& v : vehicles_) {
+    out.push_back(VehicleState{v.position, v.heading_deg,
+                               v.stopped_for > 0 ? 0.0 : v.current_speed});
+  }
+  return out;
+}
+
+TrajectoryLog TrafficSim::run(Duration total) {
+  TrajectoryLog log(params_.num_vehicles, kSecond);
+  log.append(snapshot());
+  for (Time t = 0; t < total; t += kSecond) {
+    step();
+    log.append(snapshot());
+  }
+  return log;
+}
+
+}  // namespace sh::vanet

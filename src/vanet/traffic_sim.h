@@ -1,0 +1,109 @@
+// Vehicle traffic simulation over a road network.
+//
+// Each vehicle picks a random destination intersection, follows the shortest
+// path at its own cruising speed (with second-to-second variation and
+// stop-light pauses at intersections), then picks a new destination —
+// producing the taxi-like movement whose position samples the paper's
+// evaluation consumed. The simulator records a 1 Hz trajectory log
+// (position, heading, speed per vehicle) which the link and route analyses
+// replay offline.
+#pragma once
+
+#include <vector>
+
+#include "sim/ids.h"
+#include "util/rng.h"
+#include "vanet/road_network.h"
+
+namespace sh::vanet {
+
+struct VehicleState {
+  Vec2 position{};
+  double heading_deg = 0.0;
+  double speed_mps = 0.0;
+};
+
+/// 1 Hz snapshots of every vehicle over a run.
+class TrajectoryLog {
+ public:
+  TrajectoryLog(int num_vehicles, Duration step);
+
+  void append(std::vector<VehicleState> snapshot);
+
+  int num_vehicles() const noexcept { return num_vehicles_; }
+  std::size_t num_steps() const noexcept { return snapshots_.size(); }
+  Duration step() const noexcept { return step_; }
+  Duration duration() const noexcept {
+    return step_ * static_cast<Duration>(snapshots_.size());
+  }
+
+  const VehicleState& at(std::size_t step_index, int vehicle) const;
+  const std::vector<VehicleState>& snapshot(std::size_t step_index) const {
+    return snapshots_.at(step_index);
+  }
+
+ private:
+  int num_vehicles_;
+  Duration step_;
+  std::vector<std::vector<VehicleState>> snapshots_;
+};
+
+class TrafficSim {
+ public:
+  /// How vehicles pick their way through the network:
+  ///  * kRandomTrips — shortest path to a random destination, then repeat
+  ///    (commuter-style trips; natural on grids);
+  ///  * kFollowRoad — keep to the best-aligned edge at each intersection,
+  ///    turning onto a crossing road with `turn_probability` (arterial
+  ///    cruising; what taxi traces look like on chords_city networks).
+  enum class Routing { kRandomTrips, kFollowRoad };
+
+  struct Params {
+    int num_vehicles = 100;
+    Routing routing = Routing::kRandomTrips;
+    double turn_probability = 0.12;  ///< kFollowRoad: turn at intersections.
+    double min_speed_mps = 10.0;  ///< Per-vehicle cruising speed range
+    double max_speed_mps = 14.0;  ///< (roughly 36-50 km/h urban arterials).
+    double speed_jitter = 0.08;   ///< Relative second-to-second variation.
+    double stop_probability = 0.05;  ///< Chance of stopping at a light.
+    Duration min_stop = 2 * kSecond;
+    Duration max_stop = 4 * kSecond;
+  };
+
+  TrafficSim(const RoadNetwork& net, std::uint64_t seed)
+      : TrafficSim(net, seed, Params{}) {}
+  TrafficSim(const RoadNetwork& net, std::uint64_t seed, Params params);
+
+  /// Advances all vehicles by one 1-second step.
+  void step();
+
+  /// Runs for `total` simulated time and returns the 1 Hz trajectory log
+  /// (including the initial state).
+  TrajectoryLog run(Duration total);
+
+  std::vector<VehicleState> snapshot() const;
+
+ private:
+  struct Vehicle {
+    std::vector<RoadNetwork::Intersection> path;  ///< Remaining waypoints.
+    std::size_t next_waypoint = 0;
+    RoadNetwork::Intersection prev_node = -1;  ///< kFollowRoad state.
+    Vec2 position{};
+    double heading_deg = 0.0;
+    double cruise_speed = 12.0;
+    double current_speed = 0.0;
+    Duration stopped_for = 0;  ///< Remaining stop-light wait.
+  };
+
+  void assign_new_path(Vehicle& v);
+  /// kFollowRoad: appends the next waypoint after arriving at `node`.
+  void follow_road_from(Vehicle& v, RoadNetwork::Intersection node);
+  void advance(Vehicle& v, double dt_s);
+
+  const RoadNetwork& net_;
+  util::Rng rng_;
+  Params params_;
+  std::vector<Vehicle> vehicles_;
+};
+
+}  // namespace sh::vanet

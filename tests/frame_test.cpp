@@ -1,0 +1,181 @@
+// Tests for the MAC frame layer and the Hint Protocol endpoint (§2.3).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hint_store.h"
+#include "mac/frame.h"
+#include "mac/hint_endpoint.h"
+
+namespace sh::mac {
+namespace {
+
+TEST(FrameTest, ControlFrameCarriesMovementBit) {
+  const Frame ack = make_control_frame(FrameType::kAck, 3, 7, true);
+  EXPECT_EQ(ack.type, FrameType::kAck);
+  EXPECT_TRUE(core::movement_bit(ack.flags));
+  EXPECT_EQ(ack.body_bytes(), 0U);  // zero-byte overhead, as §2.3 promises
+
+  const auto hints = extract_hints(ack, 123);
+  ASSERT_EQ(hints.size(), 1U);
+  EXPECT_EQ(hints[0].type, core::HintType::kMovement);
+  EXPECT_TRUE(hints[0].as_bool());
+  EXPECT_EQ(hints[0].timestamp, 123);
+  EXPECT_EQ(hints[0].source, 3U);
+}
+
+TEST(FrameTest, ClearBitYieldsNoHint) {
+  // A clear bit on a legacy frame is indistinguishable from "no hint
+  // protocol" — it must not be read as movement=false.
+  const Frame ack = make_control_frame(FrameType::kAck, 3, 7, false);
+  EXPECT_TRUE(extract_hints(ack, 1).empty());
+}
+
+TEST(FrameTest, DataFramePiggybacksHints) {
+  const std::vector<core::Hint> hints{
+      core::Hint::movement(false, 0, 0),
+      core::Hint::heading(200.0, 0, 0),
+  };
+  const Frame frame = make_data_frame(9, 2, {1, 2, 3}, hints);
+  EXPECT_EQ(frame.payload.size(), 3U);
+  EXPECT_EQ(frame.hint_block.size(), core::hint_block_size(2));
+
+  const auto extracted = extract_hints(frame, 55);
+  ASSERT_EQ(extracted.size(), 2U);
+  EXPECT_EQ(extracted[0].type, core::HintType::kMovement);
+  EXPECT_FALSE(extracted[0].as_bool());
+  EXPECT_NEAR(extracted[1].value, 200.0, 1.0);
+  EXPECT_EQ(extracted[1].source, 9U);
+}
+
+TEST(FrameTest, MovementBlockOverridesFlagBit) {
+  // The data-frame builder mirrors movement into the flag; extraction must
+  // not produce a duplicate (block is authoritative).
+  const std::vector<core::Hint> hints{core::Hint::movement(true, 0, 0)};
+  const Frame frame = make_data_frame(9, 2, {}, hints);
+  EXPECT_TRUE(core::movement_bit(frame.flags));
+  const auto extracted = extract_hints(frame, 1);
+  ASSERT_EQ(extracted.size(), 1U);
+  EXPECT_TRUE(extracted[0].as_bool());
+}
+
+TEST(FrameTest, LegacyDataFrameYieldsNothing) {
+  const Frame frame = make_data_frame(9, 2, {1, 2, 3}, {});
+  EXPECT_TRUE(frame.hint_block.empty());
+  EXPECT_TRUE(extract_hints(frame, 1).empty());
+}
+
+TEST(FrameTest, CorruptBlockFailsClosed) {
+  std::vector<core::Hint> hints{core::Hint::heading(10.0, 0, 0)};
+  Frame frame = make_data_frame(9, 2, {}, hints);
+  frame.hint_block[0] ^= 0xFF;  // destroy the magic
+  EXPECT_TRUE(extract_hints(frame, 1).empty());
+}
+
+TEST(FrameTest, StandaloneHintFrame) {
+  const std::vector<core::Hint> hints{core::Hint::speed(7.0, 0, 0)};
+  const Frame frame = make_hint_frame(4, hints);
+  EXPECT_EQ(frame.type, FrameType::kHint);
+  const auto extracted = extract_hints(frame, 9);
+  ASSERT_EQ(extracted.size(), 1U);
+  EXPECT_NEAR(extracted[0].value, 7.0, 0.25);
+}
+
+TEST(FrameTest, EnvironmentActivityRoundTripsThroughFrames) {
+  const std::vector<core::Hint> hints{
+      core::Hint::environment_activity(true, 0, 0)};
+  const Frame frame = make_hint_frame(4, hints);
+  const auto extracted = extract_hints(frame, 9);
+  ASSERT_EQ(extracted.size(), 1U);
+  EXPECT_EQ(extracted[0].type, core::HintType::kEnvironmentActivity);
+  EXPECT_TRUE(extracted[0].as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// HintEndpoint
+
+TEST(HintEndpointTest, FirstHintIsPending) {
+  HintEndpoint endpoint(1);
+  EXPECT_FALSE(endpoint.has_pending_change());
+  endpoint.on_local_hint(core::Hint::movement(true, 0, 1));
+  EXPECT_TRUE(endpoint.has_pending_change());
+}
+
+TEST(HintEndpointTest, DataFrameDeliversAndClearsPending) {
+  HintEndpoint endpoint(1);
+  endpoint.on_local_hint(core::Hint::movement(true, 0, 1));
+  const auto carried = endpoint.hints_for_data_frame(10);
+  ASSERT_EQ(carried.size(), 1U);
+  EXPECT_FALSE(endpoint.has_pending_change());
+  // Unchanged hint, immediately after: nothing to carry.
+  EXPECT_TRUE(endpoint.hints_for_data_frame(20).empty());
+}
+
+TEST(HintEndpointTest, ChangeTriggersRecarriage) {
+  HintEndpoint endpoint(1);
+  endpoint.on_local_hint(core::Hint::movement(true, 0, 1));
+  endpoint.hints_for_data_frame(10);
+  endpoint.on_local_hint(core::Hint::movement(false, 20, 1));
+  const auto carried = endpoint.hints_for_data_frame(30);
+  ASSERT_EQ(carried.size(), 1U);
+  EXPECT_FALSE(carried[0].as_bool());
+}
+
+TEST(HintEndpointTest, SubQuantumChangeNotRetransmitted) {
+  HintEndpoint endpoint(1);
+  endpoint.on_local_hint(core::Hint::heading(100.0, 0, 1));
+  endpoint.hints_for_data_frame(10);
+  // 0.3 degrees is below the 1.4-degree wire quantum.
+  endpoint.on_local_hint(core::Hint::heading(100.3, 20, 1));
+  EXPECT_FALSE(endpoint.has_pending_change());
+}
+
+TEST(HintEndpointTest, RefreshResendsUnchangedHints) {
+  HintEndpoint::Params params;
+  params.refresh_interval = kSecond;
+  HintEndpoint endpoint(1, params);
+  endpoint.on_local_hint(core::Hint::movement(true, 0, 1));
+  endpoint.hints_for_data_frame(0);
+  EXPECT_TRUE(endpoint.hints_for_data_frame(500 * kMillisecond).empty());
+  EXPECT_EQ(endpoint.hints_for_data_frame(1500 * kMillisecond).size(), 1U);
+}
+
+TEST(HintEndpointTest, StandaloneFrameWhenIdleWithPendingChange) {
+  HintEndpoint::Params params;
+  params.standalone_after_idle = 200 * kMillisecond;
+  HintEndpoint endpoint(1, params);
+  endpoint.hints_for_data_frame(0);  // last data frame at t=0
+  endpoint.on_local_hint(core::Hint::movement(true, 50 * kMillisecond, 1));
+
+  // Too soon: keep waiting for a data frame to piggyback on.
+  EXPECT_FALSE(endpoint.maybe_standalone_frame(100 * kMillisecond).has_value());
+  // Idle long enough: the change goes out on its own frame.
+  const auto frame = endpoint.maybe_standalone_frame(300 * kMillisecond);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kHint);
+  const auto hints = extract_hints(*frame, 300 * kMillisecond);
+  ASSERT_EQ(hints.size(), 1U);
+  EXPECT_TRUE(hints[0].as_bool());
+  // Delivered: no repeat.
+  EXPECT_FALSE(endpoint.maybe_standalone_frame(400 * kMillisecond).has_value());
+}
+
+TEST(HintEndpointTest, EndToEndIntoReceiverStore) {
+  HintEndpoint endpoint(5);
+  core::HintStore receiver_store;
+  endpoint.on_local_hint(core::Hint::movement(true, 0, 5));
+  endpoint.on_local_hint(core::Hint::heading(45.0, 0, 5));
+
+  const Frame frame =
+      make_data_frame(5, 9, {0xAA}, endpoint.hints_for_data_frame(100));
+  for (const auto& hint : extract_hints(frame, 105)) {
+    receiver_store.update(hint);
+  }
+  EXPECT_TRUE(receiver_store.is_moving(5, 105, kSecond));
+  const auto heading = receiver_store.latest(5, core::HintType::kHeading);
+  ASSERT_TRUE(heading.has_value());
+  EXPECT_NEAR(heading->value, 45.0, 1.0);
+}
+
+}  // namespace
+}  // namespace sh::mac

@@ -1,0 +1,152 @@
+// Tests for the mesh network substrate and the ETX routing experiment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/mesh_experiment.h"
+#include "mesh/mesh_net.h"
+#include "util/stats.h"
+
+namespace sh::mesh {
+namespace {
+
+MeshConfig small_config(std::uint64_t seed) {
+  MeshConfig config;
+  config.num_nodes = 8;
+  config.mobile_nodes = 2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MeshNetworkTest, NodesStayInArea) {
+  MeshNetwork net(small_config(1));
+  for (int step = 0; step < 600; ++step) {
+    net.step(100 * kMillisecond);
+    for (int i = 0; i < net.num_nodes(); ++i) {
+      EXPECT_GE(net.node_x(i), -1.0);
+      EXPECT_LE(net.node_x(i), 321.0);
+      EXPECT_GE(net.node_y(i), -1.0);
+      EXPECT_LE(net.node_y(i), 321.0);
+    }
+  }
+}
+
+TEST(MeshNetworkTest, MobileNodesMoveStaticDoNot) {
+  MeshNetwork net(small_config(2));
+  const double x0_mobile = net.node_x(0);
+  const double y0_mobile = net.node_y(0);
+  const double x0_static = net.node_x(5);
+  const double y0_static = net.node_y(5);
+  for (int step = 0; step < 600; ++step) net.step(100 * kMillisecond);
+  EXPECT_GT(std::hypot(net.node_x(0) - x0_mobile, net.node_y(0) - y0_mobile),
+            5.0);
+  EXPECT_DOUBLE_EQ(net.node_x(5), x0_static);
+  EXPECT_DOUBLE_EQ(net.node_y(5), y0_static);
+  EXPECT_TRUE(net.node_moving(0));
+  EXPECT_FALSE(net.node_moving(5));
+}
+
+TEST(MeshNetworkTest, CloserPairsDeliverBetterOnAverage) {
+  MeshNetwork net(small_config(3));
+  util::RunningStats close_p, far_p;
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    for (int j = 0; j < net.num_nodes(); ++j) {
+      if (i == j) continue;
+      const double dist =
+          std::hypot(net.node_x(i) - net.node_x(j),
+                     net.node_y(i) - net.node_y(j));
+      (dist < 120.0 ? close_p : far_p).add(net.true_delivery(i, j));
+    }
+  }
+  if (!close_p.empty() && !far_p.empty()) {
+    EXPECT_GT(close_p.mean(), far_p.mean());
+  }
+}
+
+TEST(MeshNetworkTest, StaticLinksAreStableMobileLinksDrift) {
+  MeshConfig config = small_config(4);
+  MeshNetwork net(config);
+  // Link 5-6: both static. Link 0-5: one mobile endpoint.
+  util::RunningStats static_drift, mobile_drift;
+  double prev_static = net.true_delivery(5, 6);
+  double prev_mobile = net.true_delivery(0, 5);
+  for (int step = 0; step < 600; ++step) {
+    net.step(100 * kMillisecond);
+    static_drift.add(std::fabs(net.true_delivery(5, 6) - prev_static));
+    mobile_drift.add(std::fabs(net.true_delivery(0, 5) - prev_mobile));
+    prev_static = net.true_delivery(5, 6);
+    prev_mobile = net.true_delivery(0, 5);
+  }
+  EXPECT_LT(static_drift.mean() * 3.0, mobile_drift.mean() + 1e-9);
+}
+
+TEST(MeshNetworkTest, ProbeSamplesMatchTrueProbability) {
+  MeshNetwork net(small_config(5));
+  // Freeze the network; sample one link many times.
+  int delivered = 0;
+  constexpr int kSamples = 5000;
+  const double p = net.true_delivery(5, 6);
+  for (int s = 0; s < kSamples; ++s) {
+    if (net.sample_probe(5, 6)) ++delivered;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / kSamples, p, 0.03);
+}
+
+TEST(MeshExperimentTest, RunsAndEvaluatesRoutes) {
+  MeshExperimentConfig config;
+  config.net = small_config(6);
+  config.duration = 30 * kSecond;
+  const auto result =
+      run_mesh_experiment(ProbingStrategy::kFixedFast, config);
+  EXPECT_GT(result.evaluations, 20U);
+  EXPECT_GT(result.probes_per_node_per_s, 5.0);
+  EXPECT_GE(result.mean_route_overhead, 0.0);
+}
+
+TEST(MeshExperimentTest, ProbeBudgetsOrdered) {
+  MeshExperimentConfig config;
+  config.net = small_config(7);
+  config.duration = 30 * kSecond;
+  const auto slow = run_mesh_experiment(ProbingStrategy::kFixedSlow, config);
+  const auto fast = run_mesh_experiment(ProbingStrategy::kFixedFast, config);
+  const auto adaptive =
+      run_mesh_experiment(ProbingStrategy::kHintAdaptive, config);
+  EXPECT_LT(slow.probes_per_node_per_s, adaptive.probes_per_node_per_s);
+  EXPECT_LT(adaptive.probes_per_node_per_s, fast.probes_per_node_per_s);
+}
+
+TEST(MeshExperimentTest, AdaptiveMatchesFastAccuracyAtLowerBudget) {
+  util::RunningStats slow_over, fast_over, adaptive_over;
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    MeshExperimentConfig config;
+    config.net.seed = seed;
+    config.duration = 60 * kSecond;
+    slow_over.add(
+        run_mesh_experiment(ProbingStrategy::kFixedSlow, config)
+            .mean_route_overhead);
+    fast_over.add(
+        run_mesh_experiment(ProbingStrategy::kFixedFast, config)
+            .mean_route_overhead);
+    adaptive_over.add(
+        run_mesh_experiment(ProbingStrategy::kHintAdaptive, config)
+            .mean_route_overhead);
+  }
+  // Slow probing pays the highest route overhead; the adaptive strategy
+  // lands near the fast one.
+  EXPECT_GT(slow_over.mean(), fast_over.mean());
+  EXPECT_LT(adaptive_over.mean(),
+            fast_over.mean() + 0.6 * (slow_over.mean() - fast_over.mean()));
+}
+
+TEST(MeshExperimentTest, DeterministicPerSeed) {
+  MeshExperimentConfig config;
+  config.net = small_config(8);
+  config.duration = 20 * kSecond;
+  const auto a = run_mesh_experiment(ProbingStrategy::kHintAdaptive, config);
+  const auto b = run_mesh_experiment(ProbingStrategy::kHintAdaptive, config);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_DOUBLE_EQ(a.mean_route_overhead, b.mean_route_overhead);
+}
+
+}  // namespace
+}  // namespace sh::mesh

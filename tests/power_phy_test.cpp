@@ -1,0 +1,191 @@
+// Tests for the power-saving policy (§5.4) and PHY parameter policies (§5.3).
+#include <gtest/gtest.h>
+
+#include "mac/airtime.h"
+#include "phy/phy_params.h"
+#include "power/power_manager.h"
+
+namespace sh {
+namespace {
+
+using power::RadioPowerManager;
+using power::RadioState;
+
+// ---------------------------------------------------------------------------
+// RadioPowerManager
+
+RadioPowerManager::Inputs idle_unassociated() {
+  RadioPowerManager::Inputs in;
+  in.associated = false;
+  in.scan_found_ap = false;
+  in.moving = false;
+  return in;
+}
+
+TEST(PowerManagerTest, StartsAwakeWithNoEnergy) {
+  RadioPowerManager manager;
+  EXPECT_EQ(manager.state(), RadioState::kAwake);
+  EXPECT_DOUBLE_EQ(manager.energy_mj(), 0.0);
+}
+
+TEST(PowerManagerTest, SleepsWhenStationaryAndNothingFound) {
+  RadioPowerManager manager;
+  EXPECT_EQ(manager.update(kSecond, idle_unassociated()),
+            RadioState::kSleeping);
+}
+
+TEST(PowerManagerTest, StaysAwakeWhenAssociated) {
+  RadioPowerManager manager;
+  auto in = idle_unassociated();
+  in.associated = true;
+  EXPECT_EQ(manager.update(kSecond, in), RadioState::kAwake);
+}
+
+TEST(PowerManagerTest, WakesOnMovementHint) {
+  RadioPowerManager manager;
+  manager.update(kSecond, idle_unassociated());
+  ASSERT_EQ(manager.state(), RadioState::kSleeping);
+  auto in = idle_unassociated();
+  in.moving = true;
+  EXPECT_EQ(manager.update(2 * kSecond, in), RadioState::kAwake);
+}
+
+TEST(PowerManagerTest, SleepsAboveUsefulSpeedEvenIfAssociated) {
+  RadioPowerManager manager;
+  RadioPowerManager::Inputs in;
+  in.associated = true;
+  in.moving = true;
+  in.speed_mps = 30.0;  // highway
+  EXPECT_EQ(manager.update(kSecond, in), RadioState::kSleeping);
+  in.speed_mps = 5.0;
+  EXPECT_EQ(manager.update(2 * kSecond, in), RadioState::kAwake);
+}
+
+TEST(PowerManagerTest, EnergyIntegratesByState) {
+  RadioPowerManager::Params params;
+  params.awake_mw = 1000.0;
+  params.sleep_mw = 100.0;
+  RadioPowerManager manager(params);
+  // 10 s awake.
+  auto in = idle_unassociated();
+  in.associated = true;
+  manager.update(10 * kSecond, in);
+  EXPECT_NEAR(manager.energy_mj(), 10'000.0, 1.0);
+  // Then sleep for 10 s.
+  manager.update(10 * kSecond, idle_unassociated());  // transitions to sleep
+  manager.update(20 * kSecond, idle_unassociated());
+  EXPECT_NEAR(manager.energy_mj(), 11'000.0, 1.0);
+  EXPECT_NEAR(manager.baseline_energy_mj(), 20'000.0, 1.0);
+  EXPECT_NEAR(manager.savings_fraction(), 0.45, 0.01);
+}
+
+TEST(PowerManagerTest, SavingsZeroWhenAlwaysAwake) {
+  RadioPowerManager manager;
+  auto in = idle_unassociated();
+  in.associated = true;
+  for (Time t = kSecond; t <= 10 * kSecond; t += kSecond)
+    manager.update(t, in);
+  EXPECT_NEAR(manager.savings_fraction(), 0.0, 1e-9);
+}
+
+TEST(PowerManagerTest, StationaryNightSavesMostEnergy) {
+  // A phone left on a desk overnight with no AP in range: the hint-driven
+  // policy sleeps essentially the whole time.
+  RadioPowerManager manager;
+  for (Time t = kSecond; t <= 3600 * kSecond; t += 60 * kSecond)
+    manager.update(t, idle_unassociated());
+  EXPECT_GT(manager.savings_fraction(), 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Cyclic prefix policy
+
+TEST(PhyParamsTest, OutdoorGetsLongerGuard) {
+  const auto indoor = phy::choose_cyclic_prefix(false);
+  const auto outdoor = phy::choose_cyclic_prefix(true);
+  EXPECT_EQ(indoor.guard_ns, 800);
+  EXPECT_EQ(outdoor.guard_ns, 1600);
+  EXPECT_GT(indoor.symbol_efficiency, outdoor.symbol_efficiency);
+}
+
+TEST(PhyParamsTest, IsiFactorCoveredSpreadIsUnity) {
+  EXPECT_DOUBLE_EQ(phy::isi_delivery_factor(800, 500.0), 1.0);
+  EXPECT_DOUBLE_EQ(phy::isi_delivery_factor(800, 800.0), 1.0);
+}
+
+TEST(PhyParamsTest, IsiFactorDecaysBeyondGuard) {
+  const double mild = phy::isi_delivery_factor(800, 1200.0);
+  const double severe = phy::isi_delivery_factor(800, 3000.0);
+  EXPECT_LT(mild, 1.0);
+  EXPECT_LT(severe, mild);
+  EXPECT_GT(severe, 0.0);
+}
+
+TEST(PhyParamsTest, OutdoorGuardBeatsIndoorGuardOutdoors) {
+  // The whole point of the policy: with an outdoor delay spread (~1.5 us),
+  // the extended guard avoids the ISI penalty that would otherwise
+  // outweigh its ~17% symbol-time overhead.
+  const double outdoor_spread_ns = 1500.0;
+  const auto indoor_cp = phy::choose_cyclic_prefix(false);
+  const auto outdoor_cp = phy::choose_cyclic_prefix(true);
+  const double indoor_goodput =
+      indoor_cp.symbol_efficiency *
+      phy::isi_delivery_factor(indoor_cp.guard_ns, outdoor_spread_ns);
+  const double outdoor_goodput =
+      outdoor_cp.symbol_efficiency *
+      phy::isi_delivery_factor(outdoor_cp.guard_ns, outdoor_spread_ns);
+  EXPECT_GT(outdoor_goodput, indoor_goodput);
+}
+
+// ---------------------------------------------------------------------------
+// Speed-limited frame sizing
+
+TEST(PhyParamsTest, CoherenceTimeShrinksWithSpeed) {
+  EXPECT_GT(phy::coherence_time(1.0), phy::coherence_time(10.0));
+  EXPECT_GT(phy::coherence_time(10.0), phy::coherence_time(30.0));
+}
+
+TEST(PhyParamsTest, StaticCoherenceEffectivelyInfinite) {
+  EXPECT_GE(phy::coherence_time(0.0), kSecond);
+}
+
+TEST(PhyParamsTest, WalkingCoherenceNearPaperValue) {
+  // The paper measures ~8-10 ms for a walking carrier at 802.11a bands.
+  const Duration tc = phy::coherence_time(1.4, 5.8);
+  EXPECT_GT(tc, 5 * kMillisecond);
+  EXPECT_LT(tc, 25 * kMillisecond);
+}
+
+TEST(PhyParamsTest, MaxFrameShrinksWithSpeed) {
+  // At 54M even vehicular coherence budgets fit a max-size frame; the cap
+  // binds at the slow rates whose frames occupy milliseconds of air.
+  const int walk = phy::max_frame_bytes_for_speed(1.4, 0);
+  const int drive = phy::max_frame_bytes_for_speed(20.0, 0);
+  EXPECT_GT(walk, drive);
+  EXPECT_GE(drive, 64);
+  EXPECT_EQ(phy::max_frame_bytes_for_speed(20.0, 7), 2304);
+}
+
+TEST(PhyParamsTest, MaxFrameRespectsAirtimeBudget) {
+  for (const double speed : {2.0, 8.0, 15.0, 25.0}) {
+    for (const mac::RateIndex rate : {0, 3, 7}) {
+      const int bytes = phy::max_frame_bytes_for_speed(speed, rate, 0.5);
+      const Duration budget = phy::coherence_time(speed) / 2;
+      if (bytes > 64) {
+        EXPECT_LE(mac::frame_duration(rate, bytes), budget)
+            << "speed " << speed << " rate " << rate;
+      }
+      EXPECT_LE(bytes, 2304);
+    }
+  }
+}
+
+TEST(PhyParamsTest, SlowRatesForceSmallerFramesAtSpeed) {
+  // At vehicular speed a 6M frame takes far longer on air, so the cap must
+  // be tighter than at 54M.
+  EXPECT_LT(phy::max_frame_bytes_for_speed(15.0, 0),
+            phy::max_frame_bytes_for_speed(15.0, 7));
+}
+
+}  // namespace
+}  // namespace sh

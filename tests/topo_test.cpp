@@ -1,0 +1,265 @@
+// Tests for topology maintenance: probe series, probing-rate evaluation,
+// adaptive probing schedules, ETX.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/trace_generator.h"
+#include "topo/adaptive_prober.h"
+#include "topo/etx.h"
+#include "topo/probe_series.h"
+#include "topo/probing_eval.h"
+#include "util/stats.h"
+
+namespace sh::topo {
+namespace {
+
+ProbeSeries constant_series(std::size_t count, bool fate,
+                            Duration interval = 5 * kMillisecond) {
+  return ProbeSeries(interval, std::vector<bool>(count, fate),
+                     std::vector<bool>(count, false));
+}
+
+// Paper-style topo trace: marginal 6M link with strong walking shadowing.
+channel::PacketFateTrace topo_trace(bool mobile, std::uint64_t seed,
+                                    Duration duration = 120 * kSecond) {
+  channel::TraceGeneratorConfig cfg;
+  cfg.env = channel::Environment::kOffice;
+  cfg.scenario = mobile ? sim::MobilityScenario::all_walking(duration)
+                        : sim::MobilityScenario::all_static(duration);
+  cfg.seed = seed;
+  cfg.snr_offset_db = -2.0;
+  cfg.shadow_sigma_scale = 2.6;
+  return channel::generate_trace(cfg);
+}
+
+// ---------------------------------------------------------------------------
+// ProbeSeries
+
+TEST(ProbeSeriesTest, FromTraceExtractsRateColumn) {
+  channel::PacketFateTrace trace;
+  for (int i = 0; i < 4; ++i) {
+    channel::TraceSlot slot;
+    slot.delivered[0] = (i % 2 == 0);
+    slot.moving = (i >= 2);
+    trace.push_back(slot);
+  }
+  const auto series = ProbeSeries::from_trace(trace, 0);
+  ASSERT_EQ(series.size(), 4U);
+  EXPECT_TRUE(series.fate(0));
+  EXPECT_FALSE(series.fate(1));
+  EXPECT_FALSE(series.moving(0));
+  EXPECT_TRUE(series.moving(3));
+  EXPECT_EQ(series.duration(), 20 * kMillisecond);
+}
+
+TEST(ProbeSeriesTest, IndexAtClampsAndMaps) {
+  const auto series = constant_series(10, true);
+  EXPECT_EQ(series.index_at(0), 0U);
+  EXPECT_EQ(series.index_at(7 * kMillisecond), 1U);
+  EXPECT_EQ(series.index_at(kSecond), 9U);
+}
+
+TEST(ProbeSeriesTest, ActualProbabilityWindowed) {
+  std::vector<bool> fates = {true, true, false, false, true,
+                             true, true, true,  true,  true};
+  ProbeSeries series(5 * kMillisecond, fates,
+                     std::vector<bool>(fates.size(), false));
+  EXPECT_DOUBLE_EQ(series.actual_probability(9, 10), 0.8);
+  EXPECT_DOUBLE_EQ(series.actual_probability(4, 5), 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// Probing error evaluation
+
+TEST(ProbingEvalTest, FixedScheduleSpacing) {
+  const auto schedule = fixed_probe_schedule(10 * kSecond, 2.0);
+  ASSERT_EQ(schedule.size(), 20U);
+  EXPECT_EQ(schedule[0], 0);
+  EXPECT_EQ(schedule[1], 500 * kMillisecond);
+}
+
+TEST(ProbingEvalTest, PerfectLinkHasZeroError) {
+  const auto series = constant_series(24000, true);  // 2 minutes
+  const auto error = probing_error(series, 1.0);
+  EXPECT_GT(error.samples, 0U);
+  EXPECT_DOUBLE_EQ(error.mean_abs_error, 0.0);
+}
+
+TEST(ProbingEvalTest, DeadLinkHasZeroError) {
+  const auto series = constant_series(24000, false);
+  EXPECT_DOUBLE_EQ(probing_error(series, 1.0).mean_abs_error, 0.0);
+}
+
+TEST(ProbingEvalTest, ErrorDecreasesWithProbingRateOnMobileLink) {
+  const auto series = ProbeSeries::from_trace(topo_trace(true, 51), 0);
+  const double slow = probing_error(series, 0.5).mean_abs_error;
+  const double fast = probing_error(series, 10.0).mean_abs_error;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(ProbingEvalTest, MobileNeedsFarMoreProbesThanStatic) {
+  // The paper's headline: ~20x more probes to reach comparable accuracy.
+  util::RunningStats static_err, mobile_err;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    static_err.add(probing_error(
+        ProbeSeries::from_trace(topo_trace(false, 60 + seed), 0), 0.5)
+        .mean_abs_error);
+    mobile_err.add(probing_error(
+        ProbeSeries::from_trace(topo_trace(true, 60 + seed), 0), 0.5)
+        .mean_abs_error);
+  }
+  EXPECT_GT(mobile_err.mean(), 2.0 * static_err.mean());
+}
+
+TEST(ProbingEvalTest, StaticLowRateErrorIsSmall) {
+  util::RunningStats err;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    err.add(probing_error(
+        ProbeSeries::from_trace(topo_trace(false, 70 + seed), 0), 1.0)
+        .mean_abs_error);
+  }
+  EXPECT_LT(err.mean(), 0.12);
+}
+
+// ---------------------------------------------------------------------------
+// Estimate series
+
+TEST(EstimateSeriesTest, WarmupProducesNaNThenValues) {
+  const auto series = constant_series(24000, true);
+  const auto schedule = fixed_probe_schedule(series.duration(), 1.0);
+  const auto est = estimate_over_schedule(series, schedule, 10, kSecond);
+  ASSERT_GT(est.time_s.size(), 20U);
+  EXPECT_TRUE(std::isnan(est.estimate.front()));  // window not yet full
+  EXPECT_FALSE(std::isnan(est.estimate.back()));
+  EXPECT_DOUBLE_EQ(est.estimate.back(), 1.0);
+  EXPECT_EQ(est.probes_sent, schedule.size());
+}
+
+TEST(EstimateSeriesTest, HighRateTracksMobileBetterThanLowRate) {
+  const auto series = ProbeSeries::from_trace(topo_trace(true, 81), 0);
+  const auto slow = estimate_over_schedule(
+      series, fixed_probe_schedule(series.duration(), 1.0));
+  const auto fast = estimate_over_schedule(
+      series, fixed_probe_schedule(series.duration(), 10.0));
+  EXPECT_GT(series_error(slow), series_error(fast));
+}
+
+TEST(EstimateSeriesTest, MotionFlagsComeFromGroundTruth) {
+  channel::TraceGeneratorConfig cfg;
+  cfg.scenario = sim::MobilityScenario::static_then_walking(20 * kSecond);
+  cfg.seed = 83;
+  const auto series =
+      ProbeSeries::from_trace(channel::generate_trace(cfg), 0);
+  const auto est = estimate_over_schedule(
+      series, fixed_probe_schedule(series.duration(), 1.0));
+  ASSERT_EQ(est.moving.size(), 20U);
+  EXPECT_FALSE(est.moving[3]);
+  EXPECT_TRUE(est.moving[15]);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveProber
+
+TEST(AdaptiveProberTest, StaticHintYieldsSlowSchedule) {
+  AdaptiveProber prober([](Time) { return false; });
+  const auto schedule = prober.schedule(10 * kSecond);
+  EXPECT_EQ(schedule.size(), 10U);  // 1 probe/s
+}
+
+TEST(AdaptiveProberTest, MobileHintYieldsFastSchedule) {
+  AdaptiveProber prober([](Time) { return true; });
+  const auto schedule = prober.schedule(10 * kSecond);
+  EXPECT_EQ(schedule.size(), 100U);  // 10 probes/s
+}
+
+TEST(AdaptiveProberTest, HoldKeepsFastRateAfterStop) {
+  // Moving for the first 5 s only.
+  AdaptiveProber prober([](Time t) { return t < 5 * kSecond; });
+  const auto schedule = prober.schedule(10 * kSecond);
+  // Probes in (5 s, 6 s]: still fast due to the 1 s hold.
+  int in_hold = 0, after_hold = 0;
+  for (const Time t : schedule) {
+    if (t > 5 * kSecond && t <= 6 * kSecond) ++in_hold;
+    if (t > 6500 * kMillisecond) ++after_hold;
+  }
+  EXPECT_GE(in_hold, 8);
+  EXPECT_LE(after_hold, 4);
+}
+
+TEST(AdaptiveProberTest, SavesProbesVersusAlwaysFast) {
+  // Mixed 50/50 motion: adaptive sends roughly (10 + 1)/2 probes/s.
+  AdaptiveProber prober([](Time t) { return t >= 30 * kSecond; });
+  const auto adaptive = prober.schedule(60 * kSecond).size();
+  const auto always_fast =
+      fixed_probe_schedule(60 * kSecond, 10.0).size();
+  EXPECT_LT(adaptive, always_fast * 6 / 10);
+  EXPECT_GT(adaptive, 60U);
+}
+
+TEST(AdaptiveProberTest, AdaptiveTracksAsWellAsFastOnMixedTrace) {
+  channel::TraceGeneratorConfig cfg;
+  cfg.env = channel::Environment::kOffice;
+  cfg.scenario = sim::MobilityScenario::static_then_walking(60 * kSecond);
+  cfg.seed = 91;
+  cfg.snr_offset_db = -2.0;
+  cfg.shadow_sigma_scale = 2.6;
+  const auto series =
+      ProbeSeries::from_trace(channel::generate_trace(cfg), 0);
+
+  AdaptiveProber prober([&series](Time t) {
+    return series.moving(series.index_at(t));
+  });
+  const auto adaptive_schedule = prober.schedule(series.duration());
+  const auto slow_schedule = fixed_probe_schedule(series.duration(), 1.0);
+
+  const double adaptive_error =
+      series_error(estimate_over_schedule(series, adaptive_schedule));
+  const double slow_error =
+      series_error(estimate_over_schedule(series, slow_schedule));
+  // The adaptive prober must beat always-slow while sending far fewer
+  // probes than always-fast.
+  EXPECT_LT(adaptive_error, slow_error);
+  EXPECT_LT(adaptive_schedule.size(),
+            fixed_probe_schedule(series.duration(), 10.0).size() * 7 / 10);
+}
+
+// ---------------------------------------------------------------------------
+// ETX
+
+TEST(EtxTest, PerfectLinkIsOneTransmission) {
+  EXPECT_DOUBLE_EQ(etx(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(etx(1.0, 1.0), 1.0);
+}
+
+TEST(EtxTest, HalfDeliveryDoublesTransmissions) {
+  EXPECT_DOUBLE_EQ(etx(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(etx(0.5, 0.5), 4.0);
+}
+
+TEST(EtxTest, DeadLinkIsHugeNotInfinite) {
+  EXPECT_GT(etx(0.0), 1e5);
+  EXPECT_TRUE(std::isfinite(etx(0.0)));
+}
+
+TEST(EtxTest, PaperWorkedExample) {
+  // §4.2: p1 = 0.8, p2 = 0.6, delta = 0.25 -> wrong pick possible,
+  // overhead = 0.8/0.6 - 1 = 1/3; penalty = 1/0.6 - 1/0.8 = 5/12.
+  const auto analysis = misrank_analysis(0.8, 0.6, 0.25);
+  EXPECT_TRUE(analysis.wrong_pick_possible);
+  EXPECT_NEAR(analysis.penalty, 5.0 / 12.0, 1e-9);
+  EXPECT_NEAR(analysis.overhead, 1.0 / 3.0, 1e-9);
+}
+
+TEST(EtxTest, SmallErrorCannotMisrankWellSeparatedLinks) {
+  const auto analysis = misrank_analysis(0.9, 0.4, 0.05);
+  EXPECT_FALSE(analysis.wrong_pick_possible);
+}
+
+TEST(EtxTest, OverheadGrowsAsLinksDiverge) {
+  EXPECT_LT(misrank_analysis(0.8, 0.7, 0.25).overhead,
+            misrank_analysis(0.8, 0.4, 0.25).overhead);
+}
+
+}  // namespace
+}  // namespace sh::topo

@@ -1,0 +1,170 @@
+// Tests for the TCP model and throughput accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "transport/tcp.h"
+#include "transport/throughput_meter.h"
+
+namespace sh::transport {
+namespace {
+
+TEST(TcpModelTest, InitialWindow) {
+  TcpModel tcp;
+  EXPECT_EQ(tcp.window(), 2);
+  EXPECT_FALSE(tcp.stalled(0));
+}
+
+TEST(TcpModelTest, SlowStartDoublesOnCleanRounds) {
+  TcpModel tcp;
+  Time t = 0;
+  tcp.on_round(t, 2, 2);
+  EXPECT_EQ(tcp.window(), 4);
+  tcp.on_round(t, 4, 4);
+  EXPECT_EQ(tcp.window(), 8);
+  tcp.on_round(t, 8, 8);
+  EXPECT_EQ(tcp.window(), 16);
+}
+
+TEST(TcpModelTest, WindowCapsAtMax) {
+  TcpModel::Params params;
+  params.max_window = 32;
+  TcpModel tcp(params);
+  Time t = 0;
+  for (int i = 0; i < 10; ++i) tcp.on_round(t, tcp.window(), tcp.window());
+  EXPECT_EQ(tcp.window(), 32);
+}
+
+TEST(TcpModelTest, FastRecoveryHalvesWindow) {
+  TcpModel tcp;
+  Time t = 0;
+  for (int i = 0; i < 5; ++i) tcp.on_round(t, tcp.window(), tcp.window());
+  const int before = tcp.window();
+  tcp.on_round(t, before, before - 1);  // one loss, plenty of dupacks
+  EXPECT_EQ(tcp.window(), std::max(before / 2, 2));
+  EXPECT_FALSE(tcp.stalled(t));
+}
+
+TEST(TcpModelTest, WipedRoundCausesStallAndWindowOne) {
+  TcpModel tcp;
+  Time t = 0;
+  for (int i = 0; i < 4; ++i) tcp.on_round(t, tcp.window(), tcp.window());
+  tcp.on_round(t, tcp.window(), 0);
+  EXPECT_EQ(tcp.window(), 1);
+  EXPECT_TRUE(tcp.stalled(t));
+  EXPECT_GT(tcp.stall_until(), t);
+}
+
+TEST(TcpModelTest, RtoBacksOffExponentially) {
+  TcpModel::Params params;
+  TcpModel tcp(params);
+  Time t = 0;
+  tcp.on_round(t, 2, 0);
+  const Duration first_rto = tcp.stall_until() - t;
+  EXPECT_EQ(first_rto, params.min_rto);
+  t = tcp.stall_until();
+  tcp.on_round(t, 1, 0);
+  const Duration second_rto = tcp.stall_until() - t;
+  EXPECT_EQ(second_rto, 2 * params.min_rto);
+  t = tcp.stall_until();
+  tcp.on_round(t, 1, 0);
+  EXPECT_EQ(tcp.stall_until() - t, 4 * params.min_rto);
+}
+
+TEST(TcpModelTest, RtoCappedAtMax) {
+  TcpModel::Params params;
+  params.min_rto = kSecond;
+  params.max_rto = 2 * kSecond;
+  TcpModel tcp(params);
+  Time t = 0;
+  for (int i = 0; i < 6; ++i) {
+    tcp.on_round(t, 1, 0);
+    t = tcp.stall_until();
+  }
+  tcp.on_round(t, 1, 0);
+  EXPECT_LE(tcp.stall_until() - t, params.max_rto);
+}
+
+TEST(TcpModelTest, CleanRoundResetsRtoBackoff) {
+  TcpModel tcp;
+  Time t = 0;
+  tcp.on_round(t, 2, 0);  // stall, rto doubles internally
+  t = tcp.stall_until();
+  tcp.on_round(t, 1, 1);  // clean round
+  tcp.on_round(t, 2, 0);  // stall again: back to min rto
+  EXPECT_EQ(tcp.stall_until() - t, TcpModel::Params{}.min_rto);
+}
+
+TEST(TcpModelTest, CongestionAvoidanceAboveSsthresh) {
+  TcpModel tcp;
+  Time t = 0;
+  // Grow, then lose to set ssthresh, then verify linear growth.
+  for (int i = 0; i < 5; ++i) tcp.on_round(t, tcp.window(), tcp.window());
+  tcp.on_round(t, tcp.window(), tcp.window() - 1);  // halve; ssthresh set
+  const int after_loss = tcp.window();
+  EXPECT_EQ(tcp.slow_start_threshold(), after_loss);
+  tcp.on_round(t, after_loss, after_loss);
+  EXPECT_EQ(tcp.window(), after_loss + 1);  // +1, not doubling
+}
+
+TEST(TcpModelTest, ZeroSentRoundIsNoOp) {
+  TcpModel tcp;
+  const int before = tcp.window();
+  tcp.on_round(0, 0, 0);
+  EXPECT_EQ(tcp.window(), before);
+  EXPECT_FALSE(tcp.stalled(0));
+}
+
+TEST(TcpModelTest, ResetRestoresDefaults) {
+  TcpModel tcp;
+  tcp.on_round(0, 2, 0);
+  tcp.reset();
+  EXPECT_EQ(tcp.window(), 2);
+  EXPECT_FALSE(tcp.stalled(0));
+}
+
+// ---------------------------------------------------------------------------
+// ThroughputMeter
+
+TEST(ThroughputMeterTest, TotalsAccumulate) {
+  ThroughputMeter meter;
+  meter.add(0, 1000);
+  meter.add(kSecond / 2, 1000);
+  meter.add(3 * kSecond, 500);
+  EXPECT_EQ(meter.total_bytes(), 2500U);
+}
+
+TEST(ThroughputMeterTest, AverageMbps) {
+  ThroughputMeter meter;
+  meter.add(0, 1'000'000);  // 8 Mbit over 2 s = 4 Mbit/s
+  EXPECT_NEAR(meter.mbps(2 * kSecond), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(meter.mbps(0), 0.0);
+}
+
+TEST(ThroughputMeterTest, SeriesBucketsCorrectly) {
+  ThroughputMeter meter;
+  meter.add(100 * kMillisecond, 125'000);   // 1 Mbit in bucket 0
+  meter.add(1500 * kMillisecond, 250'000);  // 2 Mbit in bucket 1
+  const auto series = meter.series(3 * kSecond);
+  ASSERT_EQ(series.size(), 3U);
+  EXPECT_NEAR(series[0].mbps, 1.0, 1e-9);
+  EXPECT_NEAR(series[1].mbps, 2.0, 1e-9);
+  EXPECT_NEAR(series[2].mbps, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(series[1].time_s, 1.0);
+}
+
+TEST(ThroughputMeterTest, SeriesCoversEndEvenWithoutData) {
+  ThroughputMeter meter;
+  const auto series = meter.series(5 * kSecond);
+  EXPECT_EQ(series.size(), 5U);
+}
+
+TEST(ThroughputMeterTest, NegativeTimeClampsToFirstBucket) {
+  ThroughputMeter meter;
+  meter.add(-100, 100);
+  EXPECT_EQ(meter.total_bytes(), 100U);
+  EXPECT_NEAR(meter.series(kSecond)[0].mbps, 100 * 8.0 / 1e6, 1e-9);
+}
+
+}  // namespace
+}  // namespace sh::transport

@@ -1,0 +1,234 @@
+// shtrace — command-line tool for packet-fate traces.
+//
+//   shtrace gen  --env office --scenario mixed --seconds 20 --seed 1
+//                --offset -2 --out trace.txt
+//       Generates a synthetic trace (the library's stand-in for a
+//       measurement campaign) and writes it in the portable text format.
+//
+//   shtrace stat trace.txt
+//       Prints per-rate delivery ratios, motion share, SNR summary, and a
+//       per-second delivery series at 6M.
+//
+//   shtrace run  trace.txt [--protocol hintaware|rapidsample|samplerate|
+//                rraa|rbar|charm] [--workload tcp|udp]
+//       Replays the trace through a rate-adaptation protocol and reports
+//       throughput.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "channel/trace_generator.h"
+#include "channel/trace_stats.h"
+#include "rate/hint_aware.h"
+#include "rate/rapid_sample.h"
+#include "rate/rraa.h"
+#include "rate/sample_rate.h"
+#include "rate/snr_adapters.h"
+#include "rate/trace_runner.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace sh;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  shtrace gen  --env office|hallway|outdoor|vehicular\n"
+               "               --scenario static|mobile|mixed|vehicle\n"
+               "               [--seconds N] [--seed N] [--offset DB]\n"
+               "               [--shadow-scale X] --out FILE\n"
+               "  shtrace stat FILE\n"
+               "  shtrace run  FILE [--protocol NAME] [--workload tcp|udp]\n");
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      flags[key.substr(2)] = argv[++i];
+    } else {
+      flags["_positional"] = key;
+    }
+  }
+  return flags;
+}
+
+std::optional<channel::Environment> parse_env(const std::string& name) {
+  if (name == "office") return channel::Environment::kOffice;
+  if (name == "hallway") return channel::Environment::kHallway;
+  if (name == "outdoor") return channel::Environment::kOutdoor;
+  if (name == "vehicular") return channel::Environment::kVehicular;
+  return std::nullopt;
+}
+
+int cmd_gen(const std::map<std::string, std::string>& flags) {
+  channel::TraceGeneratorConfig config;
+  const auto env_it = flags.find("env");
+  if (env_it != flags.end()) {
+    const auto env = parse_env(env_it->second);
+    if (!env) {
+      std::fprintf(stderr, "unknown env '%s'\n", env_it->second.c_str());
+      return 2;
+    }
+    config.env = *env;
+  }
+  const double seconds_total =
+      flags.count("seconds") ? std::stod(flags.at("seconds")) : 20.0;
+  const Duration total = seconds(seconds_total);
+  const std::string scenario =
+      flags.count("scenario") ? flags.at("scenario") : "mixed";
+  if (scenario == "static") {
+    config.scenario = sim::MobilityScenario::all_static(total);
+  } else if (scenario == "mobile") {
+    config.scenario = sim::MobilityScenario::all_walking(total);
+  } else if (scenario == "mixed") {
+    config.scenario = sim::MobilityScenario::static_then_walking(total);
+  } else if (scenario == "vehicle") {
+    config.scenario = sim::MobilityScenario::all_vehicle(total);
+  } else {
+    std::fprintf(stderr, "unknown scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+  if (flags.count("seed")) config.seed = std::stoull(flags.at("seed"));
+  if (flags.count("offset"))
+    config.snr_offset_db = std::stod(flags.at("offset"));
+  if (flags.count("shadow-scale"))
+    config.shadow_sigma_scale = std::stod(flags.at("shadow-scale"));
+  if (!flags.count("out")) {
+    std::fprintf(stderr, "gen requires --out FILE\n");
+    return 2;
+  }
+
+  const auto trace = channel::generate_trace(config);
+  std::ofstream out(flags.at("out"));
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", flags.at("out").c_str());
+    return 1;
+  }
+  trace.save(out);
+  std::printf("wrote %zu slots (%.1f s) to %s\n", trace.size(),
+              to_seconds(trace.duration()), flags.at("out").c_str());
+  return 0;
+}
+
+std::optional<channel::PacketFateTrace> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  auto trace = channel::PacketFateTrace::load(in);
+  if (!trace) std::fprintf(stderr, "'%s' is not a valid trace\n", path.c_str());
+  return trace;
+}
+
+int cmd_stat(const std::string& path) {
+  const auto trace = load_trace(path);
+  if (!trace) return 1;
+
+  std::printf("trace: %zu slots, %.1f s, slot %lld us\n", trace->size(),
+              to_seconds(trace->duration()),
+              static_cast<long long>(trace->slot_duration()));
+  std::size_t moving = 0;
+  util::RunningStats snr;
+  for (std::size_t i = 0; i < trace->size(); ++i) {
+    if (trace->slot(i).moving) ++moving;
+    snr.add(trace->slot(i).snr_db);
+  }
+  std::printf("motion: %.0f%% of slots; measured SNR %.1f dB mean "
+              "(%.1f..%.1f)\n\n",
+              100.0 * static_cast<double>(moving) /
+                  static_cast<double>(trace->size()),
+              snr.mean(), snr.min(), snr.max());
+
+  util::Table rates({"rate", "delivery ratio"});
+  for (mac::RateIndex r = mac::slowest_rate(); r <= mac::fastest_rate(); ++r) {
+    rates.add_row({std::string(mac::rate(r).name),
+                   util::fmt(trace->delivery_ratio(r), 3)});
+  }
+  rates.print(std::cout);
+
+  std::printf("\n6M delivery per second:\n");
+  const auto series = channel::delivery_series(*trace, mac::slowest_rate());
+  util::Table per_second({"t (s)", "delivery", "moving"});
+  for (const auto& point : series) {
+    per_second.add_row({util::fmt(point.time_s, 0),
+                        util::fmt(point.delivery_ratio, 2),
+                        point.moving ? "1" : "0"});
+  }
+  per_second.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const std::string& path,
+            const std::map<std::string, std::string>& flags) {
+  const auto trace = load_trace(path);
+  if (!trace) return 1;
+
+  const std::string name =
+      flags.count("protocol") ? flags.at("protocol") : "hintaware";
+  std::unique_ptr<rate::RateAdapter> adapter;
+  if (name == "hintaware") {
+    adapter = std::make_unique<rate::HintAwareRateAdapter>(
+        [trace = *trace](Time t) {
+          return trace.moving(std::max<Time>(0, t - 150 * kMillisecond));
+        },
+        util::Rng(42));
+  } else if (name == "rapidsample") {
+    adapter = std::make_unique<rate::RapidSample>();
+  } else if (name == "samplerate") {
+    adapter = std::make_unique<rate::SampleRateAdapter>();
+  } else if (name == "rraa") {
+    adapter = std::make_unique<rate::Rraa>();
+  } else if (name == "rbar") {
+    adapter = std::make_unique<rate::Rbar>();
+  } else if (name == "charm") {
+    adapter = std::make_unique<rate::Charm>();
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s'\n", name.c_str());
+    return 2;
+  }
+
+  rate::RunConfig run;
+  if (flags.count("workload") && flags.at("workload") == "udp") {
+    run.workload = rate::Workload::kUdp;
+  } else {
+    run.workload = rate::Workload::kTcp;
+  }
+
+  const auto result = rate::run_trace(*adapter, *trace, run);
+  std::printf("%s over %s: %.2f Mbps (%llu/%llu packets, delivery %.3f)\n",
+              name.c_str(),
+              run.workload == rate::Workload::kTcp ? "TCP" : "UDP",
+              result.throughput_mbps,
+              static_cast<unsigned long long>(result.delivered),
+              static_cast<unsigned long long>(result.attempts),
+              result.delivery_ratio);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "gen") return cmd_gen(parse_flags(argc, argv, 2));
+  if (command == "stat") {
+    if (argc < 3) return usage();
+    return cmd_stat(argv[2]);
+  }
+  if (command == "run") {
+    if (argc < 3) return usage();
+    return cmd_run(argv[2], parse_flags(argc, argv, 3));
+  }
+  return usage();
+}
