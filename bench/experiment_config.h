@@ -6,10 +6,15 @@
 // reproducible.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "channel/trace_generator.h"
+#include "exp/sweep.h"
 #include "rate/hint_aware.h"
 #include "rate/rapid_sample.h"
 #include "rate/rraa.h"
@@ -98,6 +103,63 @@ inline void run_all_protocols(const channel::PacketFateTrace& trace,
   out.rbar.add(rate::run_trace(rbar, trace, run).throughput_mbps);
   rate::Charm charm;
   out.charm.add(rate::run_trace(charm, trace, run).throughput_mbps);
+}
+
+/// One repetition's throughput of every protocol, as sweep-engine metrics.
+/// Runs the same adapters in the same order as run_all_protocols, so a
+/// ported bench aggregates the exact numbers its serial version printed.
+inline exp::MetricSample protocol_metrics(const channel::PacketFateTrace& trace,
+                                          const rate::RunConfig& run) {
+  exp::MetricSample sample;
+  rate::HintAwareRateAdapter hint(lagged_truth_query(trace), util::Rng(42));
+  sample.set("hint_mbps", rate::run_trace(hint, trace, run).throughput_mbps);
+  rate::RapidSample rapid;
+  sample.set("rapid_mbps", rate::run_trace(rapid, trace, run).throughput_mbps);
+  sample.set("sample_mbps", best_samplerate_mbps(trace, run));
+  rate::Rraa rraa;
+  sample.set("rraa_mbps", rate::run_trace(rraa, trace, run).throughput_mbps);
+  rate::Rbar rbar;
+  sample.set("rbar_mbps", rate::run_trace(rbar, trace, run).throughput_mbps);
+  rate::Charm charm;
+  sample.set("charm_mbps", rate::run_trace(charm, trace, run).throughput_mbps);
+  return sample;
+}
+
+/// CLI options shared by the engine-backed benches: `--threads N` picks the
+/// pool width (0 = hardware concurrency; the printed numbers are identical
+/// at any width) and `--json FILE` additionally writes the structured
+/// sh.sweep.v1 results.
+struct SweepCliOptions {
+  int threads = 0;
+  std::string json_path;
+};
+
+inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
+  SweepCliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opts.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N] [--json FILE]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// Writes the JSON results file if `--json` was given; timing goes to
+/// stderr so stdout stays byte-stable across machines and thread counts.
+inline void finish_sweep(const exp::SweepResult& result,
+                         const SweepCliOptions& opts) {
+  if (!opts.json_path.empty()) {
+    std::ofstream os(opts.json_path);
+    result.write_json(os);
+  }
+  std::fprintf(stderr, "[sweep %s: %llu runs in %.2fs]\n", result.name.c_str(),
+               static_cast<unsigned long long>(result.total_runs),
+               result.wall_seconds);
 }
 
 }  // namespace sh::bench

@@ -1,0 +1,69 @@
+// Minimal deterministic JSON emitter for sweep results.
+//
+// Hand-rolled on purpose: result files must be byte-identical across runs
+// and thread counts, so the writer guarantees (a) members are emitted in
+// the order the caller writes them, (b) doubles are formatted with
+// std::to_chars shortest round-trip form (no locale, no printf rounding
+// modes), and (c) indentation is fixed two-space. Only what the results
+// schema needs is implemented — objects, arrays, strings, numbers, bools.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sh::exp {
+
+/// Shortest round-trip decimal form of `value` (std::to_chars). NaN and
+/// infinities — not representable in JSON — serialize as "null".
+std::string json_number(double value);
+
+/// `s` with JSON string escaping applied, without surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// Streaming writer with automatic commas and indentation.
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("name"); w.value("sweep");
+///   w.key("points"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  void member(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;  ///< Parallel to scopes_.
+  bool pending_key_ = false;
+};
+
+}  // namespace sh::exp

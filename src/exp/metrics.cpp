@@ -1,0 +1,62 @@
+#include "exp/metrics.h"
+
+#include <algorithm>
+
+namespace sh::exp {
+
+void MetricSample::set(std::string_view name, double value) {
+  for (auto& [existing, v] : entries_) {
+    if (existing == name) {
+      v = value;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), value);
+}
+
+const double* MetricSample::find(std::string_view name) const noexcept {
+  for (const auto& [existing, v] : entries_) {
+    if (existing == name) return &v;
+  }
+  return nullptr;
+}
+
+void MetricRegistry::add(const MetricSample& sample) {
+  for (const auto& [name, value] : sample.entries()) add(name, value);
+}
+
+void MetricRegistry::add(std::string_view name, double value) {
+  for (auto& [existing, stats] : metrics_) {
+    if (existing == name) {
+      stats.add(value);
+      return;
+    }
+  }
+  metrics_.emplace_back(std::string(name), util::RunningStats{});
+  metrics_.back().second.add(value);
+}
+
+const util::RunningStats* MetricRegistry::stats(
+    std::string_view name) const noexcept {
+  for (const auto& [existing, stats] : metrics_) {
+    if (existing == name) return &stats;
+  }
+  return nullptr;
+}
+
+MetricSummary MetricRegistry::summary(std::string_view name) const noexcept {
+  const util::RunningStats* s = stats(name);
+  if (!s || s->empty()) return {};
+  return MetricSummary{s->count(), s->mean(),          s->stddev(),
+                       s->ci95_halfwidth(), s->min(), s->max()};
+}
+
+std::vector<std::pair<std::string, MetricSummary>> MetricRegistry::summaries()
+    const {
+  std::vector<std::pair<std::string, MetricSummary>> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, stats] : metrics_) out.emplace_back(name, summary(name));
+  return out;
+}
+
+}  // namespace sh::exp

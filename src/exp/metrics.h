@@ -1,0 +1,69 @@
+// Metric collection for the experiment engine.
+//
+// Each repetition of a sweep point produces a MetricSample — an ordered set
+// of named scalars ("throughput_mbps", "delivery_ratio", ...). A
+// MetricRegistry folds the samples of all repetitions of one point into
+// per-metric summaries (count, mean, stddev, 95% CI, min, max). Insertion
+// order is preserved everywhere so serialized results are byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace sh::exp {
+
+/// Named scalar outputs of one experiment repetition. Ordered; `set` on an
+/// existing name overwrites in place.
+class MetricSample {
+ public:
+  void set(std::string_view name, double value);
+  /// Value of `name`, or nullptr if absent.
+  const double* find(std::string_view name) const noexcept;
+
+  bool empty() const noexcept { return entries_.empty(); }
+  const std::vector<std::pair<std::string, double>>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Aggregate of one metric over the repetitions of a sweep point.
+struct MetricSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< Half-width of the 95% CI of the mean.
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Folds repetition samples into per-metric running statistics. Metrics
+/// appear in the order they were first seen.
+class MetricRegistry {
+ public:
+  /// Accumulates every entry of `sample`.
+  void add(const MetricSample& sample);
+  void add(std::string_view name, double value);
+
+  bool empty() const noexcept { return metrics_.empty(); }
+  std::size_t size() const noexcept { return metrics_.size(); }
+
+  /// Running stats for `name`, or nullptr if the metric was never added.
+  const util::RunningStats* stats(std::string_view name) const noexcept;
+  /// Summary for `name`; a default (count 0) summary if never added.
+  MetricSummary summary(std::string_view name) const noexcept;
+  /// All summaries, in first-seen order.
+  std::vector<std::pair<std::string, MetricSummary>> summaries() const;
+
+ private:
+  std::vector<std::pair<std::string, util::RunningStats>> metrics_;
+};
+
+}  // namespace sh::exp

@@ -1,0 +1,117 @@
+#include "exp/sweep.h"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "exp/json.h"
+#include "util/rng.h"
+
+namespace sh::exp {
+
+const PointResult* SweepResult::find(std::string_view label) const noexcept {
+  for (const auto& p : points) {
+    if (p.point.label == label) return &p;
+  }
+  return nullptr;
+}
+
+MetricSummary SweepResult::summary(std::string_view label,
+                                   std::string_view metric) const noexcept {
+  const PointResult* p = find(label);
+  return p ? p->metrics.summary(metric) : MetricSummary{};
+}
+
+void SweepResult::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("schema", "sh.sweep.v1");
+  w.member("name", std::string_view(name));
+  w.member("base_seed", base_seed);
+  w.member("total_runs", total_runs);
+  w.key("points");
+  w.begin_array();
+  for (const auto& pr : points) {
+    w.begin_object();
+    w.member("label", std::string_view(pr.point.label));
+    w.key("params");
+    w.begin_object();
+    for (const auto& [k, v] : pr.point.params) w.member(k, std::string_view(v));
+    w.end_object();
+    w.member("repetitions", static_cast<std::int64_t>(pr.point.repetitions));
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [metric, s] : pr.metrics.summaries()) {
+      w.key(metric);
+      w.begin_object();
+      w.member("count", static_cast<std::uint64_t>(s.count));
+      w.member("mean", s.mean);
+      w.member("stddev", s.stddev);
+      w.member("ci95", s.ci95);
+      w.member("min", s.min);
+      w.member("max", s.max);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::string SweepResult::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+SweepRunner::SweepRunner(SweepConfig config)
+    : config_(std::move(config)), pool_(config_.threads) {}
+
+SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
+  // Global run index = prefix sum of repetitions; the seed of run i depends
+  // only on (base_seed, i), never on scheduling.
+  std::vector<std::uint64_t> first_run(points.size(), 0);
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    first_run[p] = total;
+    if (points[p].repetitions < 1) points[p].repetitions = 1;
+    total += static_cast<std::uint64_t>(points[p].repetitions);
+  }
+
+  std::vector<MetricSample> samples(total);
+  const auto t0 = std::chrono::steady_clock::now();
+  pool_.parallel_for(total, [&](std::size_t i) {
+    // Locate the point owning run i (points are few; linear scan is cheap
+    // relative to one repetition).
+    std::size_t p = points.size() - 1;
+    while (first_run[p] > i) --p;
+    RunContext ctx;
+    ctx.point_index = p;
+    ctx.repetition = static_cast<int>(i - first_run[p]);
+    ctx.run_index = i;
+    ctx.seed = util::Rng::derive_seed(config_.base_seed, i);
+    samples[i] = fn(points[p], ctx);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.name = config_.name;
+  result.base_seed = config_.base_seed;
+  result.total_runs = total;
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.points.reserve(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    PointResult pr;
+    pr.point = std::move(points[p]);
+    const auto reps = static_cast<std::uint64_t>(pr.point.repetitions);
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      pr.metrics.add(samples[first_run[p] + r]);
+    }
+    result.points.push_back(std::move(pr));
+  }
+  return result;
+}
+
+}  // namespace sh::exp

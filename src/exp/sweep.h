@@ -1,0 +1,102 @@
+// Deterministic parallel sweep engine.
+//
+// Every figure in the paper is a sweep: a grid of (environment, mobility,
+// placement) points, each repeated over several seeds and averaged. The
+// SweepRunner fans that grid over a work-stealing thread pool while keeping
+// the results bit-for-bit independent of the thread count:
+//
+//  * each repetition r of point p has a global run index i (prefix sum of
+//    repetitions), and draws all of its randomness from the seed
+//    util::Rng::derive_seed(base_seed, i) — never from shared state;
+//  * each repetition writes its MetricSample into its own pre-allocated
+//    slot, so scheduling order cannot reorder floating-point accumulation;
+//  * aggregation into per-point summaries happens serially, in run-index
+//    order, after the pool drains.
+//
+// Consequently `run()` at 1, 2, or 64 threads produces byte-identical JSON.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "exp/metrics.h"
+#include "exp/thread_pool.h"
+
+namespace sh::exp {
+
+/// One cell of the sweep grid. `params` is free-form metadata (environment
+/// name, mobility, offset...) carried into the JSON results verbatim.
+struct SweepPoint {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> params;
+  int repetitions = 1;
+};
+
+/// Identity of one repetition, handed to the run function.
+struct RunContext {
+  std::size_t point_index = 0;
+  int repetition = 0;
+  std::uint64_t run_index = 0;  ///< Global index across the whole sweep.
+  std::uint64_t seed = 0;       ///< derive_seed(base_seed, run_index).
+};
+
+/// Executes one repetition and reports its metrics. Must be thread-safe and
+/// draw randomness only from `ctx.seed` (or deterministic data of its own);
+/// anything else breaks thread-count invariance.
+using RunFn = std::function<MetricSample(const SweepPoint& point,
+                                         const RunContext& ctx)>;
+
+struct PointResult {
+  SweepPoint point;
+  MetricRegistry metrics;  ///< Aggregated over the point's repetitions.
+};
+
+struct SweepResult {
+  std::string name;
+  std::uint64_t base_seed = 0;
+  std::uint64_t total_runs = 0;
+  std::vector<PointResult> points;
+  /// Wall-clock of the parallel phase. Deliberately NOT serialized: the
+  /// JSON must be identical across machines and thread counts.
+  double wall_seconds = 0.0;
+
+  const PointResult* find(std::string_view label) const noexcept;
+  /// Summary of `metric` at the point labelled `label`; count 0 if absent.
+  MetricSummary summary(std::string_view label,
+                        std::string_view metric) const noexcept;
+
+  /// Serializes the "sh.sweep.v1" schema (see DESIGN.md).
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+};
+
+struct SweepConfig {
+  std::string name = "sweep";
+  std::uint64_t base_seed = 1;
+  /// Worker threads; 0 = hardware concurrency, 1 = run inline.
+  int threads = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig config = {});
+
+  int thread_count() const noexcept { return pool_.thread_count(); }
+  const SweepConfig& config() const noexcept { return config_; }
+
+  /// Runs every repetition of every point across the pool and returns the
+  /// aggregated, deterministic result. Exceptions from `fn` propagate after
+  /// the batch drains (remaining repetitions still run).
+  SweepResult run(std::vector<SweepPoint> points, const RunFn& fn);
+
+ private:
+  SweepConfig config_;
+  ThreadPool pool_;
+};
+
+}  // namespace sh::exp

@@ -1,0 +1,116 @@
+#include "exp/thread_pool.h"
+
+namespace sh::exp {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  thread_count_ = threads;
+  if (threads == 1) return;  // inline mode: no workers, no shards
+  shards_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) shards_.push_back(std::make_unique<Shard>());
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++epoch_;
+    // The previous batch fully drained before parallel_for returned, so any
+    // entry still visible to a lagging worker has an older epoch tag and
+    // will be ignored by it; new entries are only taken by workers that saw
+    // this epoch (and therefore the new job pointer).
+    for (std::size_t i = 0; i < n; ++i) {
+      Shard& shard = *shards_[i % shards_.size()];
+      std::lock_guard<std::mutex> shard_lock(shard.mutex);
+      shard.tasks.push_back(Entry{epoch_, i});
+    }
+    job_ = &fn;
+    outstanding_ = n;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+bool ThreadPool::acquire(std::size_t id, std::uint64_t epoch,
+                         std::size_t& task) {
+  {
+    Shard& own = *shards_[id];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty() && own.tasks.front().epoch == epoch) {
+      task = own.tasks.front().index;
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < shards_.size(); ++k) {
+    Shard& victim = *shards_[(id + k) % shards_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty() && victim.tasks.back().epoch == epoch) {
+      task = victim.tasks.back().index;
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || (epoch_ != seen_epoch && job_); });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    // `job` stays valid while any task of `seen_epoch` is outstanding:
+    // parallel_for cannot return (and the caller cannot destroy fn) before
+    // the last acquire-able task of this epoch has been executed and
+    // acknowledged below.
+    std::size_t task = 0;
+    while (acquire(id, seen_epoch, task)) {
+      std::exception_ptr error;
+      try {
+        (*job)(task);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace sh::exp

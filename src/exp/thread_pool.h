@@ -1,0 +1,79 @@
+// Work-stealing thread pool for the experiment engine.
+//
+// A fixed set of persistent workers executes indexed task batches
+// (parallel_for). Tasks are dealt round-robin into per-worker deques; a
+// worker drains its own deque from the front and, when empty, steals from
+// the back of its siblings' deques, so an unlucky worker stuck with the
+// slowest traces does not serialize the whole sweep. Scheduling order is
+// NOT deterministic — determinism is the caller's job: every task must
+// write only to its own pre-allocated result slot and draw randomness only
+// from a seed derived from its index (util::Rng::derive_seed).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sh::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  /// A pool of 1 runs tasks inline on the calling thread (no worker spawned),
+  /// which keeps `--threads 1` runs trivially debuggable.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept { return thread_count_; }
+
+  /// Runs fn(0) ... fn(n-1), distributed over the workers, and blocks until
+  /// every task finished. If any task throws, the first exception (in
+  /// completion order) is rethrown here after the batch drains; the
+  /// remaining tasks still run.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  /// A queued task: batch epoch + task index. The epoch tag keeps a worker
+  /// that raced past the end of batch N from stealing batch N+1's tasks
+  /// while still holding batch N's job pointer.
+  struct Entry {
+    std::uint64_t epoch;
+    std::size_t index;
+  };
+
+  /// One per worker; `mutex` guards `tasks`.
+  struct Shard {
+    std::mutex mutex;
+    std::deque<Entry> tasks;
+  };
+
+  void worker_loop(std::size_t id);
+  /// Pops a task belonging to `epoch` — own shard first (front), then steals
+  /// (back). Returns false when no task of that epoch remains.
+  bool acquire(std::size_t id, std::uint64_t epoch, std::size_t& task);
+
+  int thread_count_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;  ///< Guards everything below.
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;      ///< Bumped per batch; wakes the workers.
+  std::size_t outstanding_ = 0;  ///< Tasks not yet finished in this batch.
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace sh::exp

@@ -47,13 +47,18 @@ double Rng::uniform(double lo, double hi) noexcept {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Unsigned arithmetic throughout: for wide ranges `hi - lo` (and, once the
+  // span exceeds INT64_MAX, adding the sampled offset to `lo`) overflows
+  // signed 64-bit; the unsigned ops and the final narrowing cast are
+  // modular by definition. Results are unchanged for every in-range input.
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit span
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = max() - max() % range;
   std::uint64_t r = next();
   while (r >= limit) r = next();
-  return lo + static_cast<std::int64_t>(r % range);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + r % range);
 }
 
 double Rng::normal() noexcept {
@@ -86,6 +91,15 @@ bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 Rng Rng::fork() noexcept {
   return Rng{next() ^ 0xD1B54A32D192ED03ULL};
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t base, std::uint64_t stream) noexcept {
+  // Two rounds of splitmix64 over a stream-salted base. One round already
+  // decorrelates adjacent indices; the second guards against the structured
+  // (base, base+1, ...) inputs the sweep engine feeds in.
+  std::uint64_t x = base ^ (stream * 0xD1B54A32D192ED03ULL + 0x8CB92BA72F3D8DD7ULL);
+  (void)splitmix64(x);
+  return splitmix64(x);
 }
 
 }  // namespace sh::util

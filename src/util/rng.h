@@ -50,6 +50,14 @@ class Rng {
   /// child's stream is decorrelated from the parent's by splitmix hashing.
   Rng fork() noexcept;
 
+  /// Deterministically derives an independent seed from a base seed and a
+  /// stream index, using the same splitmix-style finalizer that fork() and
+  /// reseed() rely on. Unlike fork() this is a pure function — the sweep
+  /// engine uses it so run (base_seed, i) gets the same stream no matter
+  /// which thread, or in which order, it executes.
+  static std::uint64_t derive_seed(std::uint64_t base,
+                                   std::uint64_t stream) noexcept;
+
  private:
   std::uint64_t next() noexcept;
 

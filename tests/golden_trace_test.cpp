@@ -1,0 +1,178 @@
+// Golden-trace tests for channel::TraceGenerator.
+//
+// Trace-driven evaluation lives or dies on reproducibility: every figure is
+// an average over generated traces, so a silent change to the fading /
+// shadowing / interference models shifts every reported number without any
+// test noticing. These tests pin the generator twice over:
+//
+//  * exact pins — a content hash of the serialized trace. Any change to the
+//    sampled bits fails loudly. If a change is INTENTIONAL (recalibration,
+//    new model), update the hashes and say so in the commit message, because
+//    every bench headline number moves with them.
+//  * distribution checkpoints — delivery ratio, SNR moments, and the
+//    Fig 3-1 loss-coherence shape, with tolerances wide enough to survive a
+//    toolchain change but tight enough to catch model drift.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/trace_generator.h"
+#include "channel/trace_stats.h"
+#include "util/stats.h"
+
+namespace sh::channel {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TraceGeneratorConfig office_config(bool mobile) {
+  TraceGeneratorConfig cfg;
+  cfg.env = Environment::kOffice;
+  cfg.scenario = mobile ? sim::MobilityScenario::all_walking(20 * kSecond)
+                        : sim::MobilityScenario::all_static(20 * kSecond);
+  cfg.seed = 12345;
+  return cfg;
+}
+
+std::string serialized(const PacketFateTrace& trace) {
+  std::ostringstream os;
+  trace.save(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same config must generate bit-identical traces.
+
+TEST(TraceDeterminismTest, SameConfigGeneratesBitIdenticalTraces) {
+  for (const bool mobile : {false, true}) {
+    const auto a = generate_trace(office_config(mobile));
+    const auto b = generate_trace(office_config(mobile));
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(serialized(a), serialized(b));
+  }
+}
+
+TEST(TraceDeterminismTest, DifferentSeedsGenerateDifferentTraces) {
+  auto cfg = office_config(true);
+  const auto a = generate_trace(cfg);
+  cfg.seed += 1;
+  const auto b = generate_trace(cfg);
+  EXPECT_NE(serialized(a), serialized(b));
+}
+
+// ---------------------------------------------------------------------------
+// Exact golden pins (see file header before "fixing" a failure here).
+
+TEST(GoldenTraceTest, StaticOfficeHashPinned) {
+  const auto trace = generate_trace(office_config(false));
+  EXPECT_EQ(trace.size(), 4000U);  // 20 s of 5 ms slots
+  EXPECT_EQ(fnv1a(serialized(trace)), 13731603935533998543ULL);
+}
+
+TEST(GoldenTraceTest, MobileOfficeHashPinned) {
+  const auto trace = generate_trace(office_config(true));
+  EXPECT_EQ(trace.size(), 4000U);
+  EXPECT_EQ(fnv1a(serialized(trace)), 1174459237760590210ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Distribution checkpoints: kOffice static vs mobile.
+
+TEST(GoldenTraceTest, StaticOfficeDeliveryAndSnrCheckpoints) {
+  const auto trace = generate_trace(office_config(false));
+  // A static office link at calibrated SNR delivers nearly everything at
+  // 6 Mbit/s (only the iid interference bursts bite) and nothing at 54.
+  EXPECT_NEAR(trace.delivery_ratio(mac::slowest_rate()), 0.985, 0.01);
+  EXPECT_NEAR(trace.delivery_ratio(mac::fastest_rate()), 0.0, 0.005);
+
+  util::RunningStats snr;
+  for (std::size_t i = 0; i < trace.size(); ++i) snr.add(trace.slot(i).snr_db);
+  EXPECT_NEAR(snr.mean(), 16.25, 0.25);
+  EXPECT_NEAR(snr.stddev(), 2.73, 0.2);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    ASSERT_FALSE(trace.slot(i).moving);
+}
+
+TEST(GoldenTraceTest, MobileOfficeDeliveryAndSnrCheckpoints) {
+  const auto trace = generate_trace(office_config(true));
+  // Walking: Rayleigh-like swings cut 6M delivery and occasionally open
+  // deep-fade-free windows where even 54M succeeds.
+  EXPECT_NEAR(trace.delivery_ratio(mac::slowest_rate()), 0.895, 0.02);
+  EXPECT_NEAR(trace.delivery_ratio(mac::fastest_rate()), 0.164, 0.03);
+
+  util::RunningStats snr;
+  for (std::size_t i = 0; i < trace.size(); ++i) snr.add(trace.slot(i).snr_db);
+  EXPECT_NEAR(snr.mean(), 15.86, 0.3);
+  EXPECT_NEAR(snr.stddev(), 8.22, 0.4);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    ASSERT_TRUE(trace.slot(i).moving);
+}
+
+TEST(GoldenTraceTest, MobileSnrSpreadDwarfsStatic) {
+  const auto stat = generate_trace(office_config(false));
+  const auto mob = generate_trace(office_config(true));
+  util::RunningStats ssnr, msnr;
+  for (std::size_t i = 0; i < stat.size(); ++i) ssnr.add(stat.slot(i).snr_db);
+  for (std::size_t i = 0; i < mob.size(); ++i) msnr.add(mob.slot(i).snr_db);
+  EXPECT_GT(msnr.stddev(), 2.5 * ssnr.stddev());
+}
+
+// ---------------------------------------------------------------------------
+// Coherence checkpoints (Fig 3-1): mobile losses are bursty over the ~8-10 ms
+// channel coherence time and then decorrelate; static losses are memoryless.
+
+struct Coherence {
+  double unconditional;
+  std::vector<double> conditional;  // k = 1..50 at 0.2 ms spacing
+};
+
+Coherence measure_coherence(bool mobile) {
+  const Duration length = 10 * kSecond;
+  const auto scenario = mobile ? sim::MobilityScenario::all_walking(length)
+                               : sim::MobilityScenario::all_static(length);
+  ChannelRealization ch(Environment::kOffice, scenario, 99, {}, 7.0, 1.0,
+                        {0.005, 1.0, 0.9});
+  util::Rng rng(599);
+  std::vector<bool> fates;
+  fates.reserve(static_cast<std::size_t>(length / 200));
+  for (Time t = 0; t < length; t += 200)
+    fates.push_back(ch.sample_delivery(t, mac::fastest_rate(), rng));
+  const auto lc = loss_correlation(fates, 50);
+  return Coherence{lc.unconditional_loss, lc.conditional_loss};
+}
+
+TEST(GoldenTraceTest, MobileLossCoherencePinned) {
+  const auto c = measure_coherence(true);
+  // Back-to-back packets (0.2 ms apart): a loss almost guarantees the next
+  // packet is lost too...
+  EXPECT_NEAR(c.unconditional, 0.519, 0.03);
+  EXPECT_NEAR(c.conditional[0], 0.959, 0.02);
+  EXPECT_GT(c.conditional[0], 1.5 * c.unconditional);
+  // ...but 10 ms later (k = 50) the channel has largely forgotten: more
+  // than half the excess conditional loss is gone. That decay IS the
+  // ~8-10 ms coherence time the whole hint architecture exploits.
+  const double excess_k1 = c.conditional[0] - c.unconditional;
+  const double excess_k50 = c.conditional[49] - c.unconditional;
+  EXPECT_LT(excess_k50, 0.55 * excess_k1);
+  EXPECT_NEAR(c.conditional[49], 0.720, 0.04);
+}
+
+TEST(GoldenTraceTest, StaticLossIsMemoryless) {
+  const auto c = measure_coherence(false);
+  EXPECT_NEAR(c.unconditional, 0.318, 0.03);
+  // Conditional loss within a few points of the baseline at every lag.
+  for (std::size_t k = 0; k < c.conditional.size(); ++k)
+    EXPECT_NEAR(c.conditional[k], c.unconditional, 0.05) << "lag " << k + 1;
+}
+
+}  // namespace
+}  // namespace sh::channel

@@ -1,0 +1,201 @@
+// shsweep — deterministic parallel experiment sweeps from the command line.
+//
+// Fans a grid of (environment × mobility × placement-offset) points, each
+// repeated over engine-derived seeds, across the exp::SweepRunner pool and
+// writes sh.sweep.v1 JSON. The JSON is byte-identical at any --threads
+// value (and contains no timing or host information), so
+//
+//   shsweep --threads 1 --out a.json && shsweep --threads 8 --out b.json
+//   cmp a.json b.json
+//
+// is the end-to-end determinism check the test suite automates.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+#include "experiment_config.h"
+
+using namespace sh;
+
+namespace {
+
+struct Options {
+  int threads = 0;
+  std::uint64_t base_seed = 1;
+  int reps = 4;
+  double duration_s = 10.0;
+  int offsets = 8;
+  std::vector<std::string> envs{"office", "hallway", "outdoor", "vehicular"};
+  std::vector<std::string> mobility{"static", "mobile"};
+  std::string out_path;
+  std::string name = "shsweep";
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --threads N      worker threads (0 = hardware concurrency)\n"
+      "  --base-seed S    base seed; run i uses derive_seed(S, i)\n"
+      "  --reps R         repetitions per grid point (default 4)\n"
+      "  --duration-s T   trace length in seconds (default 10)\n"
+      "  --offsets K      placement offsets per (env, mobility) (default 8)\n"
+      "  --envs LIST      comma list of office,hallway,outdoor,vehicular\n"
+      "  --mobility LIST  comma list of static,mobile\n"
+      "  --out FILE       write sh.sweep.v1 JSON results\n"
+      "  --name NAME      sweep name recorded in the JSON\n"
+      "  --quiet          no summary table on stdout\n",
+      argv0);
+  std::exit(code);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+channel::Environment env_from_name(const std::string& name, const char* argv0) {
+  if (name == "office") return channel::Environment::kOffice;
+  if (name == "hallway") return channel::Environment::kHallway;
+  if (name == "outdoor") return channel::Environment::kOutdoor;
+  if (name == "vehicular") return channel::Environment::kVehicular;
+  std::fprintf(stderr, "unknown environment '%s'\n", name.c_str());
+  usage(argv0, 2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return static_cast<const char*>(nullptr);
+      if (i + 1 >= argc) usage(argv[0], 2);
+      return static_cast<const char*>(argv[++i]);
+    };
+    if (const char* v = arg("--threads")) {
+      o.threads = std::atoi(v);
+    } else if (const char* v = arg("--base-seed")) {
+      o.base_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = arg("--reps")) {
+      o.reps = std::atoi(v);
+    } else if (const char* v = arg("--duration-s")) {
+      o.duration_s = std::atof(v);
+    } else if (const char* v = arg("--offsets")) {
+      o.offsets = std::atoi(v);
+    } else if (const char* v = arg("--envs")) {
+      o.envs = split_csv(v);
+    } else if (const char* v = arg("--mobility")) {
+      o.mobility = split_csv(v);
+    } else if (const char* v = arg("--out")) {
+      o.out_path = v;
+    } else if (const char* v = arg("--name")) {
+      o.name = v;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      o.quiet = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0], 0);
+    } else {
+      usage(argv[0], 2);
+    }
+  }
+  if (o.reps < 1 || o.offsets < 1 || o.duration_s <= 0 || o.envs.empty() ||
+      o.mobility.empty()) {
+    usage(argv[0], 2);
+  }
+  return o;
+}
+
+/// Offsets cycle through the same -2..+2 dB placement grid the benches use.
+double offset_db(int k) { return static_cast<double>(k % 5) - 2.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  struct Cell {
+    channel::Environment env;
+    bool mobile;
+    int offset;
+  };
+  std::vector<Cell> cells;
+  std::vector<exp::SweepPoint> points;
+  for (const auto& env_name : o.envs) {
+    const auto env = env_from_name(env_name, argv[0]);
+    for (const auto& mob : o.mobility) {
+      if (mob != "static" && mob != "mobile") usage(argv[0], 2);
+      const bool mobile = mob == "mobile";
+      for (int k = 0; k < o.offsets; ++k) {
+        exp::SweepPoint point;
+        point.label = env_name + "/" + mob + "/offset" + std::to_string(k);
+        point.params = {{"environment", env_name},
+                        {"mobility", mob},
+                        {"offset_db", exp::json_number(offset_db(k))}};
+        point.repetitions = o.reps;
+        points.push_back(std::move(point));
+        cells.push_back(Cell{env, mobile, k});
+      }
+    }
+  }
+
+  const Duration duration = seconds(o.duration_s);
+  exp::SweepRunner runner({o.name, o.base_seed, o.threads});
+  const auto result = runner.run(
+      points, [&](const exp::SweepPoint&, const exp::RunContext& ctx) {
+        const Cell& cell = cells[ctx.point_index];
+        channel::TraceGeneratorConfig cfg;
+        cfg.env = cell.env;
+        if (!cell.mobile) {
+          cfg.scenario = sim::MobilityScenario::all_static(duration);
+        } else if (cell.env == channel::Environment::kVehicular) {
+          cfg.scenario = sim::MobilityScenario::all_vehicle(duration);
+        } else {
+          cfg.scenario = sim::MobilityScenario::all_walking(duration);
+        }
+        cfg.seed = ctx.seed;  // engine-derived: (base_seed, run_index)
+        cfg.snr_offset_db = offset_db(cell.offset);
+        const auto trace = channel::generate_trace(cfg);
+        rate::RunConfig run;
+        run.workload = rate::Workload::kTcp;
+        auto sample = bench::protocol_metrics(trace, run);
+        sample.set("delivery_6m", trace.delivery_ratio(mac::slowest_rate()));
+        return sample;
+      });
+
+  if (!o.quiet) {
+    util::Table table({"point", "hint Mbps", "rapid Mbps", "sample Mbps",
+                       "delivery 6M"});
+    for (const auto& pr : result.points) {
+      const auto hint = pr.metrics.summary("hint_mbps");
+      table.add_row({pr.point.label, util::fmt_pm(hint.mean, hint.ci95, 2),
+                     util::fmt(pr.metrics.summary("rapid_mbps").mean, 2),
+                     util::fmt(pr.metrics.summary("sample_mbps").mean, 2),
+                     util::fmt(pr.metrics.summary("delivery_6m").mean, 3)});
+    }
+    table.print(std::cout);
+  }
+  if (!o.out_path.empty()) {
+    std::ofstream os(o.out_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
+      return 1;
+    }
+    result.write_json(os);
+  }
+  std::fprintf(stderr, "[%s: %llu points, %llu runs, %d threads, %.2fs]\n",
+               o.name.c_str(), static_cast<unsigned long long>(result.points.size()),
+               static_cast<unsigned long long>(result.total_runs),
+               runner.thread_count(), result.wall_seconds);
+  return 0;
+}
