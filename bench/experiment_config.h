@@ -10,11 +10,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "channel/trace_generator.h"
 #include "exp/sweep.h"
+#include "fault/fault_plan.h"
+#include "fault/movement_feed.h"
 #include "rate/hint_aware.h"
 #include "rate/rapid_sample.h"
 #include "rate/rraa.h"
@@ -85,6 +88,24 @@ inline rate::HintAwareRateAdapter::MovingQuery lagged_truth_query(
   };
 }
 
+/// Ground truth pushed through a faulty hint pipeline (fault::MovementFeed):
+/// updates every 100 ms with `latency`, subject to the plan's hint faults,
+/// answering nullopt once nothing fresh has survived for `max_age`. The
+/// query carries per-trace state, so build one per adapter.
+inline rate::HintAwareRateAdapter::HintQuery faulty_truth_query(
+    const channel::PacketFateTrace& trace, const fault::FaultConfig& config,
+    std::uint64_t fault_seed, Duration max_age = 2 * kSecond,
+    Duration latency = kHintLatency) {
+  fault::MovementFeed::Params params;
+  params.latency = latency;
+  params.max_age = max_age;
+  auto feed = std::make_shared<fault::MovementFeed>(
+      [&trace](Time t) { return trace.moving(t); },
+      fault::FaultPlan(config, fault_seed), params);
+  return rate::HintAwareRateAdapter::HintQuery{
+      [feed](Time t) { return feed->query(t); }};
+}
+
 /// Mean throughput of each protocol over a batch of traces.
 struct ProtocolMeans {
   util::RunningStats hint, rapid, sample, rraa, rbar, charm;
@@ -112,6 +133,28 @@ inline exp::MetricSample protocol_metrics(const channel::PacketFateTrace& trace,
                                           const rate::RunConfig& run) {
   exp::MetricSample sample;
   rate::HintAwareRateAdapter hint(lagged_truth_query(trace), util::Rng(42));
+  sample.set("hint_mbps", rate::run_trace(hint, trace, run).throughput_mbps);
+  rate::RapidSample rapid;
+  sample.set("rapid_mbps", rate::run_trace(rapid, trace, run).throughput_mbps);
+  sample.set("sample_mbps", best_samplerate_mbps(trace, run));
+  rate::Rraa rraa;
+  sample.set("rraa_mbps", rate::run_trace(rraa, trace, run).throughput_mbps);
+  rate::Rbar rbar;
+  sample.set("rbar_mbps", rate::run_trace(rbar, trace, run).throughput_mbps);
+  rate::Charm charm;
+  sample.set("charm_mbps", rate::run_trace(charm, trace, run).throughput_mbps);
+  return sample;
+}
+
+/// protocol_metrics with the hint adapter driven by an explicit (possibly
+/// faulty, possibly nullopt-answering) query. Baseline protocols are
+/// untouched — faults live in the hint path, not the channel — so the gap
+/// to `sample_mbps` is exactly the cost of degraded hints.
+inline exp::MetricSample protocol_metrics(
+    const channel::PacketFateTrace& trace, const rate::RunConfig& run,
+    rate::HintAwareRateAdapter::HintQuery hint_query) {
+  exp::MetricSample sample;
+  rate::HintAwareRateAdapter hint(std::move(hint_query), util::Rng(42));
   sample.set("hint_mbps", rate::run_trace(hint, trace, run).throughput_mbps);
   rate::RapidSample rapid;
   sample.set("rapid_mbps", rate::run_trace(rapid, trace, run).throughput_mbps);

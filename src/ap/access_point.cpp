@@ -36,6 +36,8 @@ void AccessPointSim::apply_due_hints() {
     for (auto& client : clients_) {
       if (client.config.id != hint.client) continue;
       client.moving_hint = hint.moving;
+      client.last_hint_at = hint.when;
+      client.ever_hinted = true;
       // A "static again" hint immediately unparks (paper §5.2.3): the
       // client says it is stable, so resume the aggressive default.
       if (!hint.moving && client.stats.parked) {
@@ -46,9 +48,16 @@ void AccessPointSim::apply_due_hints() {
   }
 }
 
+bool AccessPointSim::usable_moving_hint(const Client& client) const {
+  if (!client.moving_hint) return false;
+  if (params_.hint_max_age <= 0) return true;  // Legacy: trust forever.
+  return client.ever_hinted &&
+         now_ - client.last_hint_at <= params_.hint_max_age;
+}
+
 double AccessPointSim::fairness_key(const Client& client) const {
   double weight = 1.0;
-  if (params_.favor_mobile_clients && client.moving_hint)
+  if (params_.favor_mobile_clients && usable_moving_hint(client))
     weight = params_.mobile_weight;
   return client.airtime_used_us / weight;
 }
@@ -81,12 +90,12 @@ AccessPointSim::Client* AccessPointSim::pick_client() {
     Client& c = clients_[next_rr_ % n];
     ++next_rr_;
     if (!eligible(c)) continue;
-    if (params_.favor_mobile_clients && !c.moving_hint) {
+    if (params_.favor_mobile_clients && !usable_moving_hint(c)) {
       // Static clients yield every other turn when mobile favoring is on
       // and at least one mobile client is eligible.
       const bool mobile_waiting =
           std::any_of(clients_.begin(), clients_.end(), [&](const Client& o) {
-            return o.moving_hint && eligible(o) && &o != &c;
+            return usable_moving_hint(o) && eligible(o) && &o != &c;
           });
       if (mobile_waiting && (next_rr_ % 2 == 0)) continue;
     }
@@ -138,7 +147,7 @@ void AccessPointSim::serve_data_frame(Client& client) {
   }
 
   // Whole retry chain failed.
-  if (params_.hint_aware_pruning && client.moving_hint &&
+  if (params_.hint_aware_pruning && usable_moving_hint(client) &&
       client.consecutive_losses >= params_.park_after_failures) {
     client.stats.parked = true;
     client.next_probe_at = now_ + params_.parked_probe_interval;

@@ -59,6 +59,10 @@ class AccessPointSim {
     int arf_up_after = 10;    ///< Consecutive successes before stepping up.
     bool favor_mobile_clients = false;  ///< §5.2.2 adaptive scheduling.
     double mobile_weight = 2.0;
+    /// A movement hint older than this no longer drives hint-aware pruning
+    /// or scheduling — the AP reverts to its hint-free defaults for that
+    /// client until a new hint arrives. 0 = trust hints forever (legacy).
+    Duration hint_max_age = 0;
   };
 
   AccessPointSim(Params params, std::uint64_t seed);
@@ -96,6 +100,8 @@ class AccessPointSim {
     Time next_probe_at = 0;
     double airtime_used_us = 0.0;  ///< For time-based fairness.
     bool moving_hint = false;
+    Time last_hint_at = 0;
+    bool ever_hinted = false;
   };
 
   Client* pick_client();
@@ -104,6 +110,8 @@ class AccessPointSim {
   void apply_due_hints();
   void apply_arf(Client& client, bool acked);
   double fairness_key(const Client& client) const;
+  /// The client's movement hint, gated by Params::hint_max_age.
+  bool usable_moving_hint(const Client& client) const;
 
   Params params_;
   util::Rng rng_;

@@ -106,4 +106,13 @@ std::optional<sim::NodeId> choose_hint_aware(
   return best;
 }
 
+std::optional<sim::NodeId> choose_hint_aware(
+    const AssociationScorer& scorer, std::span<const ApCandidate> candidates,
+    std::optional<bool> moving, double heading_deg,
+    double min_viable_rssi_dbm) {
+  if (!moving.has_value()) return choose_strongest_rssi(candidates);
+  return choose_hint_aware(scorer, candidates, *moving, heading_deg,
+                           min_viable_rssi_dbm);
+}
+
 }  // namespace sh::ap

@@ -91,4 +91,14 @@ std::optional<sim::NodeId> choose_hint_aware(
     const AssociationScorer& scorer, std::span<const ApCandidate> candidates,
     bool moving, double heading_deg, double min_viable_rssi_dbm = -75.0);
 
+/// Degradation-aware variant: `moving` is nullopt when no fresh movement
+/// hint exists, in which case the choice degrades to the legacy
+/// strongest-signal policy rather than scoring on a guessed feature. A bool
+/// argument still binds to the overload above (exact match), so existing
+/// callers are unaffected.
+std::optional<sim::NodeId> choose_hint_aware(
+    const AssociationScorer& scorer, std::span<const ApCandidate> candidates,
+    std::optional<bool> moving, double heading_deg,
+    double min_viable_rssi_dbm = -75.0);
+
 }  // namespace sh::ap

@@ -1,0 +1,66 @@
+// HintFreshnessGate: hysteresis between "trust the hint feed" and "run the
+// hint-free baseline".
+//
+// AP-side policies (adaptive disassociation, mobile-favoring scheduling,
+// lifetime-scored association) act on client hints that arrive over a lossy
+// channel. Flipping a policy on and off at every missed update is worse than
+// either steady state — a client would be parked and unparked, favored and
+// unfavored, in lockstep with channel noise. The gate trips to "baseline"
+// only after the feed has been silent for `engage_after`, and re-arms only
+// after it has been continuously fresh again for `release_after`, so an
+// intermittent feed settles into the baseline instead of oscillating.
+#pragma once
+
+#include "util/time.h"
+
+namespace sh::ap {
+
+class HintFreshnessGate {
+ public:
+  struct Params {
+    /// Silence needed before the gate trips to the hint-free baseline.
+    Duration engage_after = kSecond;
+    /// Continuous freshness needed before a tripped gate trusts hints again.
+    Duration release_after = 3 * kSecond;
+  };
+
+  HintFreshnessGate() : HintFreshnessGate(Params{}) {}
+  explicit HintFreshnessGate(Params params) : params_(params) {}
+
+  /// Feeds one observation — was a sufficiently fresh hint available at
+  /// `now`? — and returns whether hint-aware behavior is currently allowed.
+  /// `now` must be non-decreasing across calls.
+  bool update(Time now, bool fresh) {
+    if (fresh) {
+      if (!was_fresh_) fresh_since_ = now;
+      was_fresh_ = true;
+      ever_fresh_ = true;
+      last_fresh_ = now;
+      if (tripped_ && now - fresh_since_ >= params_.release_after) {
+        tripped_ = false;
+      }
+    } else {
+      was_fresh_ = false;
+      if (!tripped_ &&
+          (!ever_fresh_ || now - last_fresh_ > params_.engage_after)) {
+        tripped_ = true;
+      }
+    }
+    return !tripped_;
+  }
+
+  /// Current verdict without feeding a new observation.
+  bool allowed() const noexcept { return !tripped_; }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  bool tripped_ = false;
+  bool was_fresh_ = false;
+  bool ever_fresh_ = false;
+  Time last_fresh_ = 0;
+  Time fresh_since_ = 0;
+};
+
+}  // namespace sh::ap

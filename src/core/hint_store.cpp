@@ -2,17 +2,17 @@
 
 namespace sh::core {
 
-void HintStore::update(const Hint& hint) {
+void HintStore::update(const Hint& hint, Time received) {
   const auto key = std::make_pair(hint.source, hint.type);
   const auto it = hints_.find(key);
-  if (it != hints_.end() && it->second.timestamp > hint.timestamp) return;
-  hints_[key] = hint;
+  if (it != hints_.end() && it->second.hint.timestamp > hint.timestamp) return;
+  hints_[key] = Entry{hint, received};
 }
 
 std::optional<Hint> HintStore::latest(sim::NodeId source, HintType type) const {
   const auto it = hints_.find(std::make_pair(source, type));
   if (it == hints_.end()) return std::nullopt;
-  return it->second;
+  return it->second.hint;
 }
 
 std::optional<Hint> HintStore::fresh(sim::NodeId source, HintType type,
@@ -20,6 +20,20 @@ std::optional<Hint> HintStore::fresh(sim::NodeId source, HintType type,
   auto hint = latest(source, type);
   if (!hint || now - hint->timestamp > max_age) return std::nullopt;
   return hint;
+}
+
+std::optional<Time> HintStore::last_update(sim::NodeId source,
+                                           HintType type) const {
+  const auto it = hints_.find(std::make_pair(source, type));
+  if (it == hints_.end()) return std::nullopt;
+  return it->second.received;
+}
+
+std::optional<Duration> HintStore::age(sim::NodeId source, HintType type,
+                                       Time now) const {
+  const auto received = last_update(source, type);
+  if (!received) return std::nullopt;
+  return now - *received;
 }
 
 bool HintStore::is_moving(sim::NodeId source, Time now, Duration max_age,

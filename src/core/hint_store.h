@@ -2,6 +2,14 @@
 // queries. Protocols consult the store rather than tracking hints themselves,
 // so staleness policy (how old may a hint be before we fall back to a
 // default?) lives in one place.
+//
+// The store keeps two clocks per (source, type) slot: the hint's own
+// generation timestamp (what `fresh()` judges) and the local receive time
+// (what `age()` / `last_update()` report). The distinction matters under
+// faults: a delayed or artificially stale hint arrives recently but was
+// generated long ago, while a dead hint channel leaves the receive watermark
+// to age out. Degradation-aware consumers watch `age()` to decide when to
+// stop trusting the hint path entirely.
 #pragma once
 
 #include <map>
@@ -15,8 +23,13 @@ namespace sh::core {
 class HintStore {
  public:
   /// Records `hint`, replacing any older hint of the same (source, type).
-  /// Hints older than the stored one are ignored (out-of-order delivery).
-  void update(const Hint& hint);
+  /// Hints older than the stored one are ignored (out-of-order delivery) and
+  /// do not refresh the receive watermark. `received` is the local arrival
+  /// time; the single-argument form uses the hint's own timestamp, which is
+  /// exact for in-process delivery. A duplicate carrying the same timestamp
+  /// refreshes the watermark — the channel is demonstrably alive.
+  void update(const Hint& hint) { update(hint, hint.timestamp); }
+  void update(const Hint& hint, Time received);
 
   /// Latest hint of `type` from `source`, if any was ever recorded.
   std::optional<Hint> latest(sim::NodeId source, HintType type) const;
@@ -24,6 +37,15 @@ class HintStore {
   /// Latest hint, but only if generated within `max_age` of `now`.
   std::optional<Hint> fresh(sim::NodeId source, HintType type, Time now,
                             Duration max_age) const;
+
+  /// Local time the (source, type) slot last accepted a delivery, if ever.
+  std::optional<Time> last_update(sim::NodeId source, HintType type) const;
+
+  /// Time since the slot last accepted a delivery, or nullopt if it never
+  /// has. This is receive-side age — it keeps growing while the hint channel
+  /// is down even though `latest()` still returns the old hint.
+  std::optional<Duration> age(sim::NodeId source, HintType type,
+                              Time now) const;
 
   /// Convenience for the most common query: is `source` moving? Returns
   /// `fallback` when no sufficiently fresh movement hint exists — a
@@ -39,7 +61,12 @@ class HintStore {
   std::size_t size() const noexcept { return hints_.size(); }
 
  private:
-  std::map<std::pair<sim::NodeId, HintType>, Hint> hints_;
+  struct Entry {
+    Hint hint;
+    Time received = 0;
+  };
+
+  std::map<std::pair<sim::NodeId, HintType>, Entry> hints_;
 };
 
 }  // namespace sh::core

@@ -92,6 +92,7 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
     ctx.repetition = static_cast<int>(i - first_run[p]);
     ctx.run_index = i;
     ctx.seed = util::Rng::derive_seed(config_.base_seed, i);
+    ctx.fault_seed = util::Rng::derive_seed(ctx.seed, kFaultSeedStream);
     samples[i] = fn(points[p], ctx);
   });
   const auto t1 = std::chrono::steady_clock::now();

@@ -37,12 +37,21 @@ struct SweepPoint {
   int repetitions = 1;
 };
 
+/// Stream constant separating fault randomness from experiment randomness:
+/// a run's fault schedule is derived from its seed but never collides with
+/// the streams the experiment itself forks from that seed.
+inline constexpr std::uint64_t kFaultSeedStream = 0xFA17;
+
 /// Identity of one repetition, handed to the run function.
 struct RunContext {
   std::size_t point_index = 0;
   int repetition = 0;
   std::uint64_t run_index = 0;  ///< Global index across the whole sweep.
   std::uint64_t seed = 0;       ///< derive_seed(base_seed, run_index).
+  /// derive_seed(seed, kFaultSeedStream) — the seed for this run's
+  /// FaultPlan, fixed by (base_seed, run_index) alone so fault schedules
+  /// are identical at any thread count.
+  std::uint64_t fault_seed = 0;
 };
 
 /// Executes one repetition and reports its metrics. Must be thread-safe and

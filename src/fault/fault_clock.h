@@ -1,0 +1,34 @@
+// FaultClock: deterministic clock skew between hint producer and consumer.
+//
+// Hint freshness decisions compare a producer timestamp against a consumer
+// clock; when the two disagree (unsynchronized nodes, a slewing NTP client)
+// a hint can look fresher or staler than it is. The skew is an affine map —
+// no randomness — so fault schedules containing skew stay reproducible.
+#pragma once
+
+#include "fault/fault_config.h"
+#include "util/time.h"
+
+namespace sh::fault {
+
+class FaultClock {
+ public:
+  FaultClock() = default;
+  explicit FaultClock(ClockSkewConfig config) : config_(config) {}
+
+  /// The producer's timestamp `t` as it appears on the consumer's clock:
+  /// t + offset + drift_ppm * t / 1e6. Identity for a null config.
+  Time skewed(Time t) const noexcept {
+    if (config_.offset == 0 && config_.drift_ppm == 0.0) return t;
+    const auto drift = static_cast<Time>(
+        config_.drift_ppm * static_cast<double>(t) / 1e6);
+    return t + config_.offset + drift;
+  }
+
+  const ClockSkewConfig& config() const noexcept { return config_; }
+
+ private:
+  ClockSkewConfig config_{};
+};
+
+}  // namespace sh::fault

@@ -1,0 +1,63 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+namespace sh::fault {
+
+bool FaultPlan::sensor_report_dropped(std::uint64_t index) const noexcept {
+  if (config_.sensor.dropout_rate <= 0.0) return false;
+  return event_rng(Stream::kSensorDrop, index)
+      .bernoulli(config_.sensor.dropout_rate);
+}
+
+bool FaultPlan::sensor_stuck_begins(std::uint64_t index) const noexcept {
+  if (config_.sensor.stuck_rate <= 0.0) return false;
+  return event_rng(Stream::kSensorStuck, index)
+      .bernoulli(config_.sensor.stuck_rate);
+}
+
+bool FaultPlan::sensor_noise_begins(std::uint64_t index) const noexcept {
+  if (config_.sensor.noise_rate <= 0.0) return false;
+  return event_rng(Stream::kSensorNoise, index)
+      .bernoulli(config_.sensor.noise_rate);
+}
+
+double FaultPlan::sensor_noise(std::uint64_t index, int axis) const noexcept {
+  auto rng = event_rng(Stream::kSensorNoise, index);
+  rng.bernoulli(config_.sensor.noise_rate);  // skip the begin decision draw
+  double n = 0.0;
+  for (int a = 0; a <= axis; ++a) n = rng.normal(0.0, config_.sensor.noise_sigma);
+  return n;
+}
+
+bool FaultPlan::hint_dropped(std::uint64_t index) const noexcept {
+  if (config_.hint.drop_rate <= 0.0) return false;
+  return event_rng(Stream::kHintDrop, index).bernoulli(config_.hint.drop_rate);
+}
+
+bool FaultPlan::hint_duplicated(std::uint64_t index) const noexcept {
+  if (config_.hint.duplicate_rate <= 0.0) return false;
+  return event_rng(Stream::kHintDuplicate, index)
+      .bernoulli(config_.hint.duplicate_rate);
+}
+
+bool FaultPlan::hint_reordered(std::uint64_t index) const noexcept {
+  if (config_.hint.reorder_rate <= 0.0) return false;
+  return event_rng(Stream::kHintReorder, index)
+      .bernoulli(config_.hint.reorder_rate);
+}
+
+Duration FaultPlan::hint_delay(std::uint64_t index) const noexcept {
+  const auto& hint = config_.hint;
+  if (hint.delay_mean == 0 && hint.delay_jitter == 0) return 0;
+  auto rng = event_rng(Stream::kHintDelay, index);
+  const double jitter =
+      hint.delay_jitter == 0
+          ? 0.0
+          : rng.uniform(-static_cast<double>(hint.delay_jitter),
+                        static_cast<double>(hint.delay_jitter));
+  return std::max<Duration>(
+      0, hint.delay_mean + static_cast<Duration>(jitter));
+}
+
+}  // namespace sh::fault

@@ -1,0 +1,42 @@
+#include "fault/faulty_sensors.h"
+
+namespace sh::fault {
+
+std::optional<sensors::AccelReport> FaultyAccelerometer::next() {
+  sensors::AccelReport report = inner_.next();
+  const std::uint64_t i = index_++;
+  const auto& cfg = plan_.config().sensor;
+
+  if (plan_.sensor_stuck_begins(i)) {
+    stuck_until_ = report.timestamp + cfg.stuck_duration;
+  }
+  if (plan_.sensor_noise_begins(i)) {
+    noise_until_ = report.timestamp + cfg.noise_duration;
+  }
+
+  if (have_last_ && report.timestamp < stuck_until_) {
+    // Frozen driver: timestamps advance, values do not.
+    report.x = last_values_.x;
+    report.y = last_values_.y;
+    report.z = last_values_.z;
+    ++stuck_count_;
+  } else {
+    last_values_ = report;
+    have_last_ = true;
+  }
+
+  if (report.timestamp < noise_until_) {
+    report.x += plan_.sensor_noise(i, 0);
+    report.y += plan_.sensor_noise(i, 1);
+    report.z += plan_.sensor_noise(i, 2);
+    ++noisy_count_;
+  }
+
+  if (plan_.sensor_report_dropped(i)) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  return report;
+}
+
+}  // namespace sh::fault

@@ -1,0 +1,51 @@
+// Faulty sensor wrappers: the fault layer between a sensor simulator and
+// whatever consumes its reports (detectors, hint services).
+//
+// A FaultyAccelerometer owns a real AccelerometerSim and applies the plan's
+// sensor faults to its stream: dropout (the report never happens — the
+// consumer sees a gap, which is how a dead sensor eventually starves the
+// movement hint), stuck-at episodes (the last values repeat while the clock
+// advances — a wedged driver that looks like perfect stillness), and noise
+// bursts (additive Gaussian noise — vibration that looks like motion).
+// With a null config the emitted stream is byte-identical to the inner
+// simulator's.
+#pragma once
+
+#include <optional>
+
+#include "fault/fault_plan.h"
+#include "sensors/accelerometer.h"
+
+namespace sh::fault {
+
+class FaultyAccelerometer {
+ public:
+  FaultyAccelerometer(sensors::AccelerometerSim inner, FaultPlan plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+  /// The next report, or nullopt when it was dropped (internal time still
+  /// advances — a gap, not a stall).
+  std::optional<sensors::AccelReport> next();
+
+  Time now() const noexcept { return inner_.now(); }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  std::uint64_t reports() const noexcept { return index_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t stuck() const noexcept { return stuck_count_; }
+  std::uint64_t noisy() const noexcept { return noisy_count_; }
+
+ private:
+  sensors::AccelerometerSim inner_;
+  FaultPlan plan_;
+  std::uint64_t index_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t stuck_count_ = 0;
+  std::uint64_t noisy_count_ = 0;
+  sensors::AccelReport last_values_{};
+  bool have_last_ = false;
+  Time stuck_until_ = -1;
+  Time noise_until_ = -1;
+};
+
+}  // namespace sh::fault

@@ -1,0 +1,59 @@
+#include "fault/hint_channel.h"
+
+#include <algorithm>
+
+namespace sh::fault {
+
+void FaultyHintChannel::enqueue(Time due, const core::Hint& hint) {
+  Pending p{due, seq_++, hint};
+  const auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), p, [](const Pending& a, const Pending& b) {
+        return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+      });
+  queue_.insert(pos, std::move(p));
+}
+
+void FaultyHintChannel::publish(const core::Hint& hint, Time now) {
+  const std::uint64_t i = published_++;
+  if (plan_.config().hint_null()) {
+    bus_->publish(hint);
+    ++delivered_;
+    return;
+  }
+  if (plan_.hint_dropped(i)) {
+    ++dropped_;
+    return;
+  }
+  core::Hint delivered = hint;
+  // Producer timestamp as the consumer's clock will read it, minus any
+  // pipeline staleness the producer silently accumulated.
+  delivered.timestamp =
+      plan_.clock().skewed(hint.timestamp) - plan_.config().hint.extra_staleness;
+  Duration delay = plan_.hint_delay(i);
+  if (plan_.hint_reordered(i)) delay += plan_.config().hint.reorder_hold;
+  enqueue(now + delay, delivered);
+  if (plan_.hint_duplicated(i)) {
+    ++duplicated_;
+    enqueue(now + delay + plan_.config().hint.reorder_hold, delivered);
+  }
+}
+
+void FaultyHintChannel::drain(Time now) {
+  std::size_t released = 0;
+  while (released < queue_.size() && queue_[released].due <= now) ++released;
+  for (std::size_t i = 0; i < released; ++i) {
+    bus_->publish(queue_[i].hint);
+    ++delivered_;
+  }
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(released));
+}
+
+void FaultyHintChannel::flush() {
+  for (const auto& p : queue_) {
+    bus_->publish(p.hint);
+    ++delivered_;
+  }
+  queue_.clear();
+}
+
+}  // namespace sh::fault

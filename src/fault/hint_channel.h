@@ -1,0 +1,63 @@
+// FaultyHintChannel: the fault layer between hint producers and a HintBus.
+//
+// Publishing through the channel subjects every hint to the plan's hint
+// faults: drop, extra delay (with jitter), reordering (a held-back hint is
+// overtaken by its successors), duplication, extra staleness (the delivered
+// timestamp is aged), and clock skew. Delivery happens when the consumer
+// side drains the channel; due hints are released in (due time, publish
+// sequence) order, so a run is deterministic regardless of how often the
+// consumer polls. With a null hint/clock config, publish() forwards to the
+// bus immediately — byte-identical to not having the channel at all.
+//
+// Out-of-order and duplicated deliveries are *not* patched up here: the
+// HintStore's newest-timestamp-wins watermark is the component under test.
+#pragma once
+
+#include <vector>
+
+#include "core/hint_bus.h"
+#include "fault/fault_plan.h"
+
+namespace sh::fault {
+
+class FaultyHintChannel {
+ public:
+  FaultyHintChannel(core::HintBus& bus, FaultPlan plan)
+      : bus_(&bus), plan_(std::move(plan)) {}
+
+  /// Submits `hint` at wall time `now`. It is delivered (or not) by a later
+  /// drain().
+  void publish(const core::Hint& hint, Time now);
+
+  /// Delivers every pending hint due by `now` to the bus.
+  void drain(Time now);
+
+  /// Delivers everything still pending regardless of due time.
+  void flush();
+
+  std::uint64_t published() const noexcept { return published_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t duplicated() const noexcept { return duplicated_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Pending {
+    Time due;
+    std::uint64_t seq;
+    core::Hint hint;
+  };
+
+  void enqueue(Time due, const core::Hint& hint);
+
+  core::HintBus* bus_;
+  FaultPlan plan_;
+  std::vector<Pending> queue_;  // kept sorted by (due, seq)
+  std::uint64_t published_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace sh::fault

@@ -1,0 +1,55 @@
+#include "fault/movement_feed.h"
+
+#include <algorithm>
+
+namespace sh::fault {
+
+void MovementFeed::advance(Time now) {
+  // Generate every hint tick due by `now`, running each through the plan.
+  const Duration interval = params_.update_interval;
+  while (static_cast<Time>(next_tick_) * interval <= now) {
+    const std::uint64_t i = next_tick_++;
+    const Time tick_time = static_cast<Time>(i) * interval;
+    if (plan_.hint_dropped(i)) {
+      ++dropped_;
+      continue;
+    }
+    Duration delay = params_.latency + plan_.hint_delay(i);
+    if (plan_.hint_reordered(i)) delay += plan_.config().hint.reorder_hold;
+    // Generation timestamp as the consumer's (possibly skewed) clock reads
+    // it, aged by any silent pipeline staleness.
+    const Time generated =
+        plan_.clock().skewed(tick_time) - plan_.config().hint.extra_staleness;
+    Delivery d{tick_time + delay, generated, truth_(tick_time)};
+    const auto pos = std::upper_bound(
+        pending_.begin(), pending_.end(), d,
+        [](const Delivery& a, const Delivery& b) { return a.due < b.due; });
+    pending_.insert(pos, d);
+  }
+
+  std::size_t released = 0;
+  while (released < pending_.size() && pending_[released].due <= now) {
+    const Delivery& d = pending_[released];
+    // Newest-generation-wins: a reordered straggler never rolls the
+    // consumer's view backwards.
+    if (!have_value_ || d.generated >= value_generated_) {
+      value_ = d.value;
+      value_generated_ = d.generated;
+      have_value_ = true;
+    }
+    ++released;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(released));
+}
+
+std::optional<bool> MovementFeed::query(Time now) {
+  advance(now);
+  if (!have_value_) return std::nullopt;
+  if (params_.max_age > 0 && now - value_generated_ > params_.max_age) {
+    return std::nullopt;
+  }
+  return value_;
+}
+
+}  // namespace sh::fault

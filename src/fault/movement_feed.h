@@ -1,0 +1,70 @@
+// MovementFeed: a movement-hint pipeline with faults and an age watermark.
+//
+// Models the paper's movement hint service as seen by a consumer at the far
+// end of a faulty pipeline: ground truth is sampled every update_interval
+// (the hint service cadence), sensed with `latency` (detector + one frame
+// exchange), and each update then runs the FaultPlan gauntlet — drop, delay,
+// reorder, extra staleness. The consumer queries the feed and gets
+//
+//   * the value of the newest-generated hint delivered so far, while that
+//     hint is younger than max_age;
+//   * nullopt once no delivery has refreshed the watermark for max_age —
+//     the signal for a degradation-aware consumer (rate::HintAware,
+//     topo::AdaptiveProber) to fall back to its hint-free baseline.
+//
+// Queries must be monotone in time (the trace runners satisfy this). With a
+// null plan and max_age disabled the feed is the classic lagged-truth query
+// quantized to the update cadence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "util/time.h"
+
+namespace sh::fault {
+
+class MovementFeed {
+ public:
+  struct Params {
+    Duration update_interval = 100 * kMillisecond;  ///< Hint service cadence.
+    Duration latency = 150 * kMillisecond;  ///< Sensing + protocol latency.
+    /// Age watermark: a hint generated longer ago than this is dead data.
+    /// <= 0 disables the watermark (the legacy trust-forever consumer).
+    Duration max_age = 2 * kSecond;
+  };
+
+  MovementFeed(std::function<bool(Time)> truth, FaultPlan plan, Params params)
+      : truth_(std::move(truth)), plan_(std::move(plan)), params_(params) {}
+
+  /// Movement state as known at `now`, or nullopt when no sufficiently
+  /// fresh hint survived the pipeline. `now` must be non-decreasing.
+  std::optional<bool> query(Time now);
+
+  std::uint64_t updates() const noexcept { return next_tick_; }
+  std::uint64_t updates_dropped() const noexcept { return dropped_; }
+
+ private:
+  struct Delivery {
+    Time due;
+    Time generated;
+    bool value;
+  };
+
+  void advance(Time now);
+
+  std::function<bool(Time)> truth_;
+  FaultPlan plan_;
+  Params params_;
+  std::uint64_t next_tick_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<Delivery> pending_;  // sorted by due time
+  bool have_value_ = false;
+  bool value_ = false;
+  Time value_generated_ = 0;
+};
+
+}  // namespace sh::fault

@@ -4,6 +4,14 @@ namespace sh::rate {
 
 HintAwareRateAdapter::HintAwareRateAdapter(MovingQuery query, util::Rng rng,
                                            Params params)
+    : HintAwareRateAdapter(
+          HintQuery{[q = std::move(query)](Time now) {
+            return std::optional<bool>(q(now));
+          }},
+          rng, params) {}
+
+HintAwareRateAdapter::HintAwareRateAdapter(HintQuery query, util::Rng rng,
+                                           Params params)
     : query_(std::move(query)),
       params_(params),
       rapid_(params.rapid),
@@ -16,16 +24,43 @@ HintAwareRateAdapter::MovingQuery HintAwareRateAdapter::store_query(
   };
 }
 
+HintAwareRateAdapter::HintQuery HintAwareRateAdapter::store_hint_query(
+    const core::HintStore& store, sim::NodeId receiver, Duration max_age) {
+  return HintQuery{
+      [&store, receiver, max_age](Time now) -> std::optional<bool> {
+        const auto age = store.age(receiver, core::HintType::kMovement, now);
+        if (!age || *age > max_age) return std::nullopt;
+        const auto hint = store.latest(receiver, core::HintType::kMovement);
+        if (!hint) return std::nullopt;
+        return hint->as_bool();
+      }};
+}
+
 RateAdapter& HintAwareRateAdapter::active() noexcept {
   if (mobile_mode_) return rapid_;
   return sample_rate_;
 }
 
 void HintAwareRateAdapter::maybe_switch(Time now) {
-  const bool mobile = query_(now);
-  if (mobile == mobile_mode_) return;
-  mobile_mode_ = mobile;
-  if (params_.reset_on_switch) active().reset();
+  const std::optional<bool> mobile = query_.fn(now);
+  if (mobile.has_value()) {
+    have_signal_ = true;
+    last_signal_ = now;
+    degraded_ = false;
+    if (*mobile == mobile_mode_) return;
+    mobile_mode_ = *mobile;
+    if (params_.reset_on_switch) active().reset();
+    return;
+  }
+  // The feed stopped answering. Ride the last known mode through a brief
+  // gap, then fall back to the hint-free baseline (SampleRate).
+  if (degraded_) return;
+  if (have_signal_ && now - last_signal_ <= params_.stale_hold) return;
+  degraded_ = true;
+  if (mobile_mode_) {
+    mobile_mode_ = false;
+    if (params_.reset_on_switch) active().reset();
+  }
 }
 
 void HintAwareRateAdapter::on_packet_start(Time now) {
@@ -50,6 +85,9 @@ void HintAwareRateAdapter::reset() {
   rapid_.reset();
   sample_rate_.reset();
   mobile_mode_ = false;
+  degraded_ = false;
+  have_signal_ = false;
+  last_signal_ = 0;
 }
 
 }  // namespace sh::rate

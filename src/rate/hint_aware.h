@@ -7,10 +7,18 @@
 // ground truth for oracle ablations). On each switch the newly activated
 // protocol is reset: the channel regime just changed, so history accumulated
 // under the other regime is not just useless but misleading.
+//
+// Graceful degradation: a HintQuery may answer nullopt — "I no longer know"
+// — when the hint feed is dead or stale. The adapter then holds its current
+// mode for `stale_hold` (a brief gap should not thrash the protocol) and
+// afterwards falls back to SampleRate, the hint-free baseline, until the
+// feed recovers. A plain MovingQuery never answers nullopt, so legacy users
+// never enter the degraded path and behave exactly as before.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "core/hint_store.h"
 #include "rate/adapter.h"
@@ -24,15 +32,28 @@ class HintAwareRateAdapter final : public RateAdapter {
   /// Returns the receiver's movement state as known at `now`.
   using MovingQuery = std::function<bool(Time)>;
 
+  /// Movement query that can admit ignorance: nullopt means no sufficiently
+  /// fresh hint exists. Distinct struct (not an alias) so a bool-returning
+  /// lambda cannot ambiguously convert to both query forms.
+  struct HintQuery {
+    std::function<std::optional<bool>(Time)> fn;
+  };
+
   struct Params {
     RapidSample::Params rapid{};
     SampleRateAdapter::Params sample_rate{};
     bool reset_on_switch = true;  ///< Ablation knob.
+    /// How long a nullopt-answering query may ride the last known mode
+    /// before the adapter degrades to SampleRate.
+    Duration stale_hold = kSecond;
   };
 
   HintAwareRateAdapter(MovingQuery query, util::Rng rng)
       : HintAwareRateAdapter(std::move(query), rng, Params{}) {}
   HintAwareRateAdapter(MovingQuery query, util::Rng rng, Params params);
+  HintAwareRateAdapter(HintQuery query, util::Rng rng)
+      : HintAwareRateAdapter(std::move(query), rng, Params{}) {}
+  HintAwareRateAdapter(HintQuery query, util::Rng rng, Params params);
 
   /// Convenience: wires the query to a HintStore entry for `receiver`,
   /// treating hints older than `max_age` (or absent) as "static" — the
@@ -40,6 +61,14 @@ class HintAwareRateAdapter final : public RateAdapter {
   static MovingQuery store_query(const core::HintStore& store,
                                  sim::NodeId receiver,
                                  Duration max_age = 5 * kSecond);
+
+  /// Degradation-aware store wiring: answers nullopt once the store's
+  /// receive watermark for the receiver's movement hint is older than
+  /// `max_age` (or was never set), so a dead hint channel demotes the
+  /// adapter to its SampleRate baseline instead of freezing the last mode.
+  static HintQuery store_hint_query(const core::HintStore& store,
+                                    sim::NodeId receiver,
+                                    Duration max_age = 5 * kSecond);
 
   std::string_view name() const override { return "HintAware"; }
   void on_packet_start(Time now) override;
@@ -49,16 +78,22 @@ class HintAwareRateAdapter final : public RateAdapter {
   void reset() override;
 
   bool mobile_mode() const noexcept { return mobile_mode_; }
+  /// True while the adapter is running its hint-free fallback because the
+  /// query stopped answering.
+  bool degraded() const noexcept { return degraded_; }
 
  private:
   RateAdapter& active() noexcept;
   void maybe_switch(Time now);
 
-  MovingQuery query_;
+  HintQuery query_;
   Params params_;
   RapidSample rapid_;
   SampleRateAdapter sample_rate_;
   bool mobile_mode_ = false;
+  bool degraded_ = false;
+  bool have_signal_ = false;
+  Time last_signal_ = 0;
 };
 
 }  // namespace sh::rate

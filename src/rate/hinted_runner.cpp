@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "fault/fault_plan.h"
+#include "fault/faulty_sensors.h"
 #include "mac/airtime.h"
 #include "rate/hint_aware.h"
 #include "sensors/accelerometer.h"
@@ -46,6 +48,31 @@ DetectorTimeline run_detector(const sim::MobilityScenario& scenario,
   return timeline;
 }
 
+/// Detector over a faulty accelerometer: dropped reports never reach the
+/// detector (a gap in the stream), stuck/noisy reports do and mislead it.
+DetectorTimeline run_detector_faulty(const sim::MobilityScenario& scenario,
+                                     Duration until, std::uint64_t seed,
+                                     const fault::FaultPlan& plan,
+                                     std::uint64_t* reports_dropped) {
+  fault::FaultyAccelerometer accel(
+      sensors::AccelerometerSim(scenario, util::Rng(seed)), plan);
+  sensors::MovementDetector detector;
+  DetectorTimeline timeline;
+  bool last = false;
+  timeline.transitions.emplace_back(0, false);
+  while (accel.now() < until) {
+    const auto report = accel.next();
+    if (!report) continue;
+    const bool moving = detector.update(*report);
+    if (moving != last) {
+      timeline.transitions.emplace_back(report->timestamp, moving);
+      last = moving;
+    }
+  }
+  *reports_dropped = accel.dropped();
+  return timeline;
+}
+
 }  // namespace
 
 HintedRunResult run_trace_with_hint_protocol(
@@ -53,21 +80,36 @@ HintedRunResult run_trace_with_hint_protocol(
     const sim::MobilityScenario& scenario, const HintedRunConfig& config) {
   assert(!trace.empty());
   const Time end = trace.duration();
+  HintedRunResult result;
+  const fault::FaultPlan plan(config.fault, config.fault_seed);
   const DetectorTimeline detector =
-      run_detector(scenario, end, config.sensor_seed);
+      config.fault.sensor_null()
+          ? run_detector(scenario, end, config.sensor_seed)
+          : run_detector_faulty(scenario, end, config.sensor_seed, plan,
+                                &result.sensor_reports_dropped);
 
   // Sender-side view of the receiver's movement hint, updated only when a
   // frame actually crosses the link.
   bool sender_view = false;
+  bool sender_has_view = false;
   Time sender_view_updated = 0;
+  std::uint64_t hint_delivery_index = 0;
   // For hint-delay accounting: when did the sender first reflect each
   // detector transition?
   std::vector<Time> reflected_at(detector.transitions.size(), -1);
 
   auto deliver_hint_to_sender = [&](Time now) {
+    // Each carriage of the hint (ACK bit or standalone frame) is one fault
+    // opportunity; a dropped carriage leaves the sender's view — and its
+    // staleness watermark — untouched.
+    if (plan.hint_dropped(hint_delivery_index++)) {
+      ++result.hint_deliveries_dropped;
+      return;
+    }
     const bool current = detector.value_at(now);
     sender_view = current;
-    sender_view_updated = now;
+    sender_has_view = true;
+    sender_view_updated = now - config.fault.hint.extra_staleness;
     for (std::size_t i = 0; i < detector.transitions.size(); ++i) {
       if (detector.transitions[i].first <= now && reflected_at[i] < 0 &&
           detector.transitions[i].second == current) {
@@ -79,9 +121,17 @@ HintedRunResult run_trace_with_hint_protocol(
     }
   };
 
-  HintedRunResult result;
-  HintAwareRateAdapter adapter([&](Time) { return sender_view; },
-                               util::Rng(42));
+  HintAwareRateAdapter adapter(
+      HintAwareRateAdapter::HintQuery{
+          [&](Time now) -> std::optional<bool> {
+            if (config.hint_max_age > 0 &&
+                (!sender_has_view ||
+                 now - sender_view_updated > config.hint_max_age)) {
+              return std::nullopt;
+            }
+            return sender_view;
+          }},
+      util::Rng(42));
   util::Rng floor_rng(config.run.floor_seed);
   util::Rng standalone_rng(config.sensor_seed ^ 0x5A5A);
   transport::TcpModel tcp(config.run.tcp);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "channel/trace.h"
+#include "fault/fault_config.h"
 #include "rate/trace_runner.h"
 #include "sim/mobility.h"
 
@@ -26,6 +27,9 @@ struct HintedRunResult {
   double mean_hint_delay_s = 0.0;
   std::size_t detector_transitions = 0;
   std::size_t standalone_hint_frames = 0;
+  /// Fault accounting (all zero when `fault` is null).
+  std::uint64_t sensor_reports_dropped = 0;
+  std::uint64_t hint_deliveries_dropped = 0;
 };
 
 struct HintedRunConfig {
@@ -35,6 +39,19 @@ struct HintedRunConfig {
   /// Receiver emits a standalone hint frame when its hint changed and no
   /// ACK has carried it for this long.
   Duration standalone_after = 100 * kMillisecond;
+  /// Fault injection. A null config takes the exact legacy code path:
+  /// sensor faults perturb the receiver's accelerometer stream (dropout
+  /// starves the detector), hint drop faults eat individual hint carriages
+  /// (ACK bit or standalone frame), and extra_staleness backdates the
+  /// sender's view watermark.
+  fault::FaultConfig fault{};
+  /// Seed for the fault plan (exp::RunContext::fault_seed in sweeps).
+  std::uint64_t fault_seed = 0;
+  /// Sender-side degradation watermark: when > 0, a sender view that has
+  /// not been refreshed for this long answers "unknown" and the HintAware
+  /// adapter falls back to SampleRate after its stale_hold. 0 = legacy
+  /// trust-forever behavior.
+  Duration hint_max_age = 0;
 };
 
 /// Replays `trace` through the full hint-aware stack. `scenario` must be

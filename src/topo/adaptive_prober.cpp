@@ -5,8 +5,15 @@
 namespace sh::topo {
 
 AdaptiveProber::AdaptiveProber(MovingQuery query, Params params)
+    : AdaptiveProber(
+          HintQuery{[q = std::move(query)](Time now) {
+            return std::optional<bool>(q(now));
+          }},
+          params) {}
+
+AdaptiveProber::AdaptiveProber(HintQuery query, Params params)
     : query_(std::move(query)), params_(params) {
-  assert(query_);
+  assert(query_.fn);
   assert(params_.static_probes_per_s > 0.0);
   assert(params_.mobile_probes_per_s >= params_.static_probes_per_s);
 }
@@ -16,13 +23,31 @@ std::vector<Time> AdaptiveProber::schedule(Duration total) const {
       static_cast<Duration>(1e6 / params_.static_probes_per_s);
   const auto mobile_interval =
       static_cast<Duration>(1e6 / params_.mobile_probes_per_s);
+  const double fallback_rate = params_.fallback_probes_per_s > 0.0
+                                   ? params_.fallback_probes_per_s
+                                   : params_.static_probes_per_s;
+  const auto fallback_interval = static_cast<Duration>(1e6 / fallback_rate);
 
   std::vector<Time> out;
   Time last_moving = -params_.hold_after_stop - 1;  // "never"
+  Time last_signal = 0;
+  bool have_signal = false;
   Time t = 0;
   while (t < total) {
     out.push_back(t);
-    if (query_(t)) last_moving = t;
+    const std::optional<bool> moving = query_.fn(t);
+    if (moving.has_value()) {
+      have_signal = true;
+      last_signal = t;
+      if (*moving) last_moving = t;
+    }
+    const bool degraded =
+        !moving.has_value() &&
+        (!have_signal || t - last_signal > params_.hint_timeout);
+    if (degraded) {
+      t += fallback_interval;
+      continue;
+    }
     const bool fast = (t - last_moving) <= params_.hold_after_stop;
     t += fast ? mobile_interval : static_interval;
   }

@@ -3,9 +3,16 @@
 // rate for a hold period after motion stops so the estimation window drains
 // stale samples. Rates default to the paper's 1 probe/s static and
 // 10 probes/s mobile with a 1 s hold.
+//
+// Graceful degradation: constructed with a HintQuery (which may answer
+// nullopt — "no fresh hint"), the prober rides its current regime through a
+// gap of up to `hint_timeout`, then drops to a fixed fallback rate — the
+// hint-free baseline — until the feed answers again. A plain MovingQuery
+// never answers nullopt and schedules exactly as before.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "topo/probing_eval.h"
@@ -19,24 +26,38 @@ class AdaptiveProber {
     double static_probes_per_s = 1.0;
     double mobile_probes_per_s = 10.0;
     Duration hold_after_stop = kSecond;
+    /// How long the prober trusts its last hint once the query goes silent.
+    Duration hint_timeout = kSecond;
+    /// Fixed probe rate while degraded; <= 0 means use the static rate.
+    double fallback_probes_per_s = 0.0;
   };
 
   /// Movement hint as known to the prober at a given time (wired to a
   /// HintStore, a detector, or ground truth with injected latency).
   using MovingQuery = std::function<bool(Time)>;
 
+  /// Movement query that can admit ignorance: nullopt means the hint feed
+  /// has nothing fresh. Distinct struct so a bool-returning lambda cannot
+  /// convert to both query forms.
+  struct HintQuery {
+    std::function<std::optional<bool>(Time)> fn;
+  };
+
   AdaptiveProber(MovingQuery query) : AdaptiveProber(std::move(query), Params{}) {}
   AdaptiveProber(MovingQuery query, Params params);
+  AdaptiveProber(HintQuery query) : AdaptiveProber(std::move(query), Params{}) {}
+  AdaptiveProber(HintQuery query, Params params);
 
   /// The probe schedule over [0, total): after each probe, the next one is
   /// scheduled at the interval implied by the hint state at that moment
-  /// (fast while moving or within the hold period after motion stops).
+  /// (fast while moving or within the hold period after motion stops; the
+  /// fallback interval once the hint feed has been silent past its timeout).
   std::vector<Time> schedule(Duration total) const;
 
   const Params& params() const noexcept { return params_; }
 
  private:
-  MovingQuery query_;
+  HintQuery query_;
   Params params_;
 };
 

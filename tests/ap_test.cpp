@@ -4,8 +4,11 @@
 
 #include <algorithm>
 
+#include <optional>
+
 #include "ap/access_point.h"
 #include "ap/association.h"
+#include "ap/hint_gate.h"
 
 namespace sh::ap {
 namespace {
@@ -197,6 +200,128 @@ TEST(AccessPointTest, MobileFavoringShiftsShare) {
 }
 
 // ---------------------------------------------------------------------------
+// Stale hints at the AP (Params::hint_max_age)
+
+TEST(AccessPointTest, StaleMovementHintNoLongerParksClient) {
+  // The client reported movement at 5 s but its link only dies at 35 s.
+  // With a freshness watermark the 30-second-old hint must NOT trigger
+  // adaptive disassociation; the AP falls back to timeout pruning.
+  auto params = default_params();
+  params.hint_aware_pruning = true;
+  params.hint_max_age = 2 * kSecond;
+  AccessPointSim ap(params, 7);
+  ap.add_client(ClientConfig{1, always_good(), true});
+  ap.add_client(ClientConfig{2, leaves_at(35 * kSecond), true});
+  ap.schedule_hint(5 * kSecond, 2, true);
+  ap.run_until(60 * kSecond);
+  EXPECT_FALSE(ap.stats(2).parked);
+  EXPECT_TRUE(ap.stats(2).pruned);  // legacy 10 s timeout did the work
+  EXPECT_GT(to_seconds(ap.stats(2).pruned_at), 44.0);
+}
+
+TEST(AccessPointTest, FreshHintStillParksUnderWatermark) {
+  // Same scenario as HintAwarePruningAvoidsCollapse but with the watermark
+  // on: a hint 1 s before the departure is fresh, so parking still works.
+  auto params = default_params();
+  params.hint_aware_pruning = true;
+  params.hint_max_age = 2 * kSecond;
+  AccessPointSim ap(params, 7);
+  ap.add_client(ClientConfig{1, always_good(), true});
+  ap.add_client(ClientConfig{2, leaves_at(35 * kSecond), true});
+  ap.schedule_hint(34 * kSecond, 2, true);
+  ap.run_until(60 * kSecond);
+  EXPECT_TRUE(ap.stats(2).parked);
+  EXPECT_FALSE(ap.stats(2).pruned);
+}
+
+TEST(AccessPointTest, LegacyZeroMaxAgeTrustsOldHints) {
+  // hint_max_age = 0 is the pre-watermark behavior: even a 30-second-old
+  // movement hint still drives adaptive disassociation.
+  auto params = default_params();
+  params.hint_aware_pruning = true;
+  params.hint_max_age = 0;
+  AccessPointSim ap(params, 7);
+  ap.add_client(ClientConfig{1, always_good(), true});
+  ap.add_client(ClientConfig{2, leaves_at(35 * kSecond), true});
+  ap.schedule_hint(5 * kSecond, 2, true);
+  ap.run_until(60 * kSecond);
+  EXPECT_TRUE(ap.stats(2).parked);
+  EXPECT_FALSE(ap.stats(2).pruned);
+}
+
+TEST(AccessPointTest, StaleHintStopsFavoringMobileClient) {
+  // §5.2.2 favoring with the watermark: the movement hint from t=0 expires
+  // at 2 s, so over 10 s the "mobile" client keeps at most a small edge —
+  // far from the sustained 1.3x+ the fresh-hint test demonstrates.
+  auto params = default_params();
+  params.fairness = AccessPointSim::Fairness::kTime;
+  params.favor_mobile_clients = true;
+  params.hint_max_age = 2 * kSecond;
+  AccessPointSim ap(params, 11);
+  ap.add_client(ClientConfig{1, always_good(), true});
+  ap.add_client(ClientConfig{2, always_good(), true});
+  ap.schedule_hint(0, 2, true);
+  ap.run_until(10 * kSecond);
+  const double static_share = ap.stats(1).meter.mbps(10 * kSecond);
+  const double mobile_share = ap.stats(2).meter.mbps(10 * kSecond);
+  EXPECT_LT(mobile_share, 1.2 * static_share);
+}
+
+// ---------------------------------------------------------------------------
+// HintFreshnessGate hysteresis
+
+TEST(HintGateTest, AllowsHintsWhileFresh) {
+  HintFreshnessGate gate;
+  for (Time t = 0; t < 10 * kSecond; t += 100 * kMillisecond) {
+    EXPECT_TRUE(gate.update(t, true));
+  }
+}
+
+TEST(HintGateTest, NeverFreshTripsImmediately) {
+  HintFreshnessGate gate;
+  EXPECT_FALSE(gate.update(0, false));
+  EXPECT_FALSE(gate.allowed());
+}
+
+TEST(HintGateTest, TripsOnlyAfterEngageWindow) {
+  HintFreshnessGate gate;  // engage_after = 1 s
+  EXPECT_TRUE(gate.update(0, true));
+  // Brief silence inside the window: still trusted.
+  EXPECT_TRUE(gate.update(500 * kMillisecond, false));
+  EXPECT_TRUE(gate.update(900 * kMillisecond, false));
+  // Past the window: tripped.
+  EXPECT_FALSE(gate.update(1100 * kMillisecond, false));
+}
+
+TEST(HintGateTest, ReArmsOnlyAfterSustainedFreshness) {
+  HintFreshnessGate gate;  // release_after = 3 s
+  gate.update(0, true);
+  gate.update(2 * kSecond, false);  // tripped (silent > 1 s)
+  ASSERT_FALSE(gate.allowed());
+  // Freshness returns, but the gate stays tripped until it lasts 3 s.
+  EXPECT_FALSE(gate.update(3 * kSecond, true));
+  EXPECT_FALSE(gate.update(5 * kSecond, true));
+  EXPECT_TRUE(gate.update(6 * kSecond, true));
+}
+
+TEST(HintGateTest, IntermittentFeedSettlesTrippedNotOscillating) {
+  // Fresh for 1 s, silent for 2 s, repeated: once tripped, the 1 s fresh
+  // bursts never satisfy release_after, so the gate must stay put instead
+  // of flapping policies on and off.
+  HintFreshnessGate gate;
+  int flips = 0;
+  bool last = true;
+  for (Time t = 0; t < 60 * kSecond; t += 250 * kMillisecond) {
+    const bool fresh = (t % (3 * kSecond)) < kSecond;
+    const bool allowed = gate.update(t, fresh);
+    if (allowed != last) ++flips;
+    last = allowed;
+  }
+  EXPECT_FALSE(last);     // settled on the baseline
+  EXPECT_LE(flips, 1);    // a single trip, no oscillation
+}
+
+// ---------------------------------------------------------------------------
 // Adaptive association
 
 TEST(AssociationTest, RssiBuckets) {
@@ -274,6 +399,40 @@ TEST(AssociationTest, HintNeverJustifiesFarWeakerSignal) {
       {2, -72.0, 5.0},
   };
   EXPECT_EQ(choose_hint_aware(scorer, candidates, true, 0.0), 1U);
+}
+
+TEST(AssociationTest, UnknownMovementDegradesToStrongestRssi) {
+  AssociationScorer scorer;
+  for (int i = 0; i < 30; ++i) {
+    for (int bucket = 0; bucket < kRssiBuckets; ++bucket) {
+      scorer.record(AssociationFeatures{true, 1, bucket}, 60.0);
+      scorer.record(AssociationFeatures{true, -1, bucket}, 5.0);
+    }
+  }
+  const ApCandidate candidates[] = {
+      {1, -62.0, 180.0},  // a bit stronger but behind
+      {2, -67.0, 5.0},    // comparable and dead ahead
+  };
+  // With a fresh "moving" hint the trained scorer prefers the AP ahead; when
+  // the hint feed is dead (nullopt) the choice must degrade to the legacy
+  // strongest-signal policy, not score on a guessed feature.
+  EXPECT_EQ(choose_hint_aware(scorer, candidates,
+                              std::optional<bool>(true), 0.0),
+            2U);
+  EXPECT_EQ(choose_hint_aware(scorer, candidates, std::nullopt, 0.0), 1U);
+  EXPECT_EQ(choose_hint_aware(scorer, candidates, std::nullopt, 0.0),
+            choose_strongest_rssi(candidates));
+}
+
+TEST(AssociationTest, OptionalOverloadAgreesWithBoolOverload) {
+  AssociationScorer scorer;
+  const ApCandidate candidates[] = {
+      {1, -85.0, 0.0}, {2, -58.0, 90.0}, {3, -64.0, 10.0}};
+  for (const bool moving : {false, true}) {
+    EXPECT_EQ(choose_hint_aware(scorer, candidates, moving, 45.0),
+              choose_hint_aware(scorer, candidates,
+                                std::optional<bool>(moving), 45.0));
+  }
 }
 
 TEST(AssociationTest, StaticClientFallsBackToRssiRanking) {

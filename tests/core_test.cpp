@@ -119,6 +119,68 @@ TEST(HintStoreTest, ForgetDropsOneNode) {
 }
 
 // ---------------------------------------------------------------------------
+// HintStore receive watermark (age / last_update): the signal degradation-
+// aware consumers use to stop trusting a dead hint channel.
+
+TEST(HintStoreTest, AgeAndLastUpdateEmptyUntilFirstDelivery) {
+  HintStore store;
+  EXPECT_FALSE(store.last_update(1, HintType::kMovement).has_value());
+  EXPECT_FALSE(store.age(1, HintType::kMovement, 10 * kSecond).has_value());
+}
+
+TEST(HintStoreTest, AgeGrowsWhileChannelIsSilent) {
+  HintStore store;
+  store.update(Hint::movement(true, kSecond, 1));
+  ASSERT_TRUE(store.last_update(1, HintType::kMovement).has_value());
+  EXPECT_EQ(*store.last_update(1, HintType::kMovement), kSecond);
+  EXPECT_EQ(*store.age(1, HintType::kMovement, kSecond), 0);
+  // Nothing arrives; receive-side age keeps growing even though latest()
+  // still answers.
+  EXPECT_EQ(*store.age(1, HintType::kMovement, 6 * kSecond), 5 * kSecond);
+  EXPECT_TRUE(store.latest(1, HintType::kMovement).has_value());
+}
+
+TEST(HintStoreTest, OutOfOrderStragglerDoesNotRefreshWatermark) {
+  HintStore store;
+  store.update(Hint::movement(true, 2 * kSecond, 1));
+  // A reordered older hint arrives later: it must neither replace the newer
+  // value nor make the channel look alive.
+  store.update(Hint::movement(false, kSecond, 1), /*received=*/5 * kSecond);
+  EXPECT_TRUE(store.latest(1, HintType::kMovement)->as_bool());
+  EXPECT_EQ(*store.last_update(1, HintType::kMovement), 2 * kSecond);
+}
+
+TEST(HintStoreTest, DuplicateWithSameTimestampRefreshesWatermark) {
+  HintStore store;
+  store.update(Hint::movement(true, kSecond, 1), /*received=*/kSecond);
+  // The producer re-sends the same hint; the channel is demonstrably alive,
+  // so the receive watermark moves even though the value is unchanged.
+  store.update(Hint::movement(true, kSecond, 1), /*received=*/4 * kSecond);
+  EXPECT_EQ(*store.last_update(1, HintType::kMovement), 4 * kSecond);
+  EXPECT_EQ(*store.age(1, HintType::kMovement, 5 * kSecond), kSecond);
+}
+
+TEST(HintStoreTest, ExplicitReceiveTimeSeparatesGenerationFromArrival) {
+  HintStore store;
+  // A hint generated at t=1s but delivered at t=9s (a badly delayed
+  // channel): fresh() judges generation age, age() judges receive age.
+  store.update(Hint::movement(true, kSecond, 1), /*received=*/9 * kSecond);
+  EXPECT_FALSE(
+      store.fresh(1, HintType::kMovement, 9 * kSecond, 2 * kSecond).has_value());
+  EXPECT_EQ(*store.age(1, HintType::kMovement, 9 * kSecond), 0);
+}
+
+TEST(HintStoreTest, WatermarkIsPerSourceAndType) {
+  HintStore store;
+  store.update(Hint::movement(true, kSecond, 1));
+  store.update(Hint::heading(90.0, 3 * kSecond, 1));
+  store.update(Hint::movement(false, 2 * kSecond, 2));
+  EXPECT_EQ(*store.last_update(1, HintType::kMovement), kSecond);
+  EXPECT_EQ(*store.last_update(1, HintType::kHeading), 3 * kSecond);
+  EXPECT_EQ(*store.last_update(2, HintType::kMovement), 2 * kSecond);
+}
+
+// ---------------------------------------------------------------------------
 // HintBus
 
 TEST(HintBusTest, SubscribersReceiveMatchingType) {

@@ -20,6 +20,8 @@
 
 #include "channel/trace_generator.h"
 #include "channel/trace_stats.h"
+#include "fault/faulty_sensors.h"
+#include "sensors/accelerometer.h"
 #include "util/stats.h"
 
 namespace sh::channel {
@@ -82,6 +84,32 @@ TEST(GoldenTraceTest, MobileOfficeHashPinned) {
   const auto trace = generate_trace(office_config(true));
   EXPECT_EQ(trace.size(), 4000U);
   EXPECT_EQ(fnv1a(serialized(trace)), 1174459237760590210ULL);
+}
+
+TEST(GoldenTraceTest, NullFaultConfigSensorStreamIsByteIdentical) {
+  // The fault layer's transparency contract, pinned at the golden seed: an
+  // accelerometer wrapped with an all-zero FaultConfig must emit the exact
+  // byte stream of the bare simulator. If this fails, every zero-fault bench
+  // and sweep JSON byte-identity guarantee is void.
+  for (const bool mobile : {false, true}) {
+    const auto scenario = mobile
+                              ? sim::MobilityScenario::all_walking(20 * kSecond)
+                              : sim::MobilityScenario::all_static(20 * kSecond);
+    sensors::AccelerometerSim plain(scenario, util::Rng(12345));
+    fault::FaultyAccelerometer faulty(
+        sensors::AccelerometerSim(scenario, util::Rng(12345)),
+        fault::FaultPlan(fault::FaultConfig{}, 12345));
+    std::ostringstream a, b;
+    for (int i = 0; i < 2000; ++i) {
+      const auto r = plain.next();
+      const auto f = faulty.next();
+      ASSERT_TRUE(f.has_value()) << "report " << i;
+      a << r.timestamp << ' ' << r.x << ' ' << r.y << ' ' << r.z << '\n';
+      b << f->timestamp << ' ' << f->x << ' ' << f->y << ' ' << f->z << '\n';
+    }
+    EXPECT_EQ(fnv1a(a.str()), fnv1a(b.str()));
+    EXPECT_EQ(a.str(), b.str());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -122,6 +122,97 @@ TEST(HintedRunnerTest, StandaloneFramesFillTrafficGaps) {
   EXPECT_GT(result.standalone_hint_frames, 0U);
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection through the full protocol stack.
+
+TEST(HintedRunnerFaultTest, ZeroFaultConfigMatchesLegacyPath) {
+  // A default (null) fault config must not merely be "close" to the
+  // pre-fault runner — it must take the identical code path. Any drift here
+  // breaks the byte-identity guarantee for every existing bench.
+  const auto setup = make_setup(21);
+  HintedRunConfig legacy;
+  legacy.run.workload = Workload::kTcp;
+  HintedRunConfig with_null_fault = legacy;
+  with_null_fault.fault = fault::FaultConfig{};  // explicit null
+  with_null_fault.fault_seed = 987654;           // unused while null
+  const auto a =
+      run_trace_with_hint_protocol(setup.trace, setup.scenario, legacy);
+  const auto b = run_trace_with_hint_protocol(setup.trace, setup.scenario,
+                                              with_null_fault);
+  EXPECT_EQ(a.run.delivered, b.run.delivered);
+  EXPECT_EQ(a.run.attempts, b.run.attempts);
+  EXPECT_DOUBLE_EQ(a.run.throughput_mbps, b.run.throughput_mbps);
+  EXPECT_DOUBLE_EQ(a.mean_hint_delay_s, b.mean_hint_delay_s);
+  EXPECT_EQ(a.detector_transitions, b.detector_transitions);
+  EXPECT_EQ(b.sensor_reports_dropped, 0U);
+  EXPECT_EQ(b.hint_deliveries_dropped, 0U);
+}
+
+TEST(HintedRunnerFaultTest, TotalHintDropDegradesToSampleRateDelivery) {
+  // Every hint carriage (ACK bit and standalone frame) is eaten: with a
+  // sane hint_max_age the sender must fall back to SampleRate and deliver
+  // within 1% of it — a dead hint path costs nothing relative to never
+  // having had hints.
+  for (const std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+    const auto setup = make_setup(seed);
+    HintedRunConfig config;
+    config.run.workload = Workload::kTcp;
+    config.fault.hint.drop_rate = 1.0;
+    config.fault_seed = 1000 + seed;
+    config.hint_max_age = 2 * kSecond;
+    const auto result =
+        run_trace_with_hint_protocol(setup.trace, setup.scenario, config);
+    EXPECT_GT(result.hint_deliveries_dropped, 0U);
+
+    SampleRateAdapter baseline;
+    RunConfig run;
+    run.workload = Workload::kTcp;
+    const auto base = run_trace(baseline, setup.trace, run);
+    EXPECT_GE(result.run.throughput_mbps, 0.99 * base.throughput_mbps)
+        << "seed " << seed;
+  }
+}
+
+TEST(HintedRunnerFaultTest, TotalSensorDropoutStarvesDetectorGracefully) {
+  // The receiver's accelerometer dies outright: the detector never sees a
+  // report, so no transition is ever signalled, and with a degradation
+  // watermark the sender ends up at the SampleRate baseline.
+  const auto setup = make_setup(41);
+  HintedRunConfig config;
+  config.run.workload = Workload::kTcp;
+  config.fault.sensor.dropout_rate = 1.0;
+  config.fault_seed = 77;
+  config.hint_max_age = 2 * kSecond;
+  const auto result =
+      run_trace_with_hint_protocol(setup.trace, setup.scenario, config);
+  EXPECT_GT(result.sensor_reports_dropped, 0U);
+  EXPECT_EQ(result.detector_transitions, 0U);
+
+  SampleRateAdapter baseline;
+  RunConfig run;
+  run.workload = Workload::kTcp;
+  const auto base = run_trace(baseline, setup.trace, run);
+  EXPECT_GE(result.run.throughput_mbps, 0.99 * base.throughput_mbps);
+}
+
+TEST(HintedRunnerFaultTest, FaultedRunsAreDeterministic) {
+  const auto setup = make_setup(51);
+  HintedRunConfig config;
+  config.run.workload = Workload::kUdp;
+  config.fault.hint.drop_rate = 0.5;
+  config.fault.sensor.dropout_rate = 0.25;
+  config.fault_seed = 4242;
+  config.hint_max_age = 2 * kSecond;
+  const auto a =
+      run_trace_with_hint_protocol(setup.trace, setup.scenario, config);
+  const auto b =
+      run_trace_with_hint_protocol(setup.trace, setup.scenario, config);
+  EXPECT_EQ(a.run.delivered, b.run.delivered);
+  EXPECT_EQ(a.sensor_reports_dropped, b.sensor_reports_dropped);
+  EXPECT_EQ(a.hint_deliveries_dropped, b.hint_deliveries_dropped);
+  EXPECT_DOUBLE_EQ(a.run.throughput_mbps, b.run.throughput_mbps);
+}
+
 TEST(HintedRunnerTest, DeterministicPerSeeds) {
   const auto setup = make_setup(4);
   HintedRunConfig config;

@@ -458,6 +458,101 @@ TEST(HintAwareTest, ResetOnSwitchClearsMobileHistory) {
 }
 
 // ---------------------------------------------------------------------------
+// HintAwareRateAdapter graceful degradation (nullopt-answering HintQuery)
+
+TEST(HintAwareTest, HundredPercentDropoutMatchesSampleRate) {
+  // The degradation floor, pinned on the golden office traces: an adapter
+  // whose hint feed never answers must deliver what plain SampleRate
+  // delivers. The contract is >= 0.99x; the implementation actually degrades
+  // to the identical adapter, so we assert exact equality too.
+  for (const bool mobile : {false, true}) {
+    TraceGeneratorConfig cfg;
+    cfg.env = Environment::kOffice;
+    cfg.scenario = mobile ? sim::MobilityScenario::all_walking(20 * kSecond)
+                          : sim::MobilityScenario::all_static(20 * kSecond);
+    cfg.seed = 12345;
+    const auto trace = generate_trace(cfg);
+    RunConfig run;
+    run.workload = Workload::kTcp;
+    HintAwareRateAdapter dead(
+        HintAwareRateAdapter::HintQuery{
+            [](Time) { return std::optional<bool>(); }},
+        util::Rng(42));
+    SampleRateAdapter baseline;
+    const double hint_mbps = run_trace(dead, trace, run).throughput_mbps;
+    const double base_mbps = run_trace(baseline, trace, run).throughput_mbps;
+    EXPECT_GE(hint_mbps, 0.99 * base_mbps) << (mobile ? "mobile" : "static");
+    EXPECT_DOUBLE_EQ(hint_mbps, base_mbps) << (mobile ? "mobile" : "static");
+    EXPECT_TRUE(dead.degraded());
+  }
+}
+
+TEST(HintAwareTest, StaleHintExitsRapidSampleWithinHold) {
+  // The feed answers "moving" and then goes silent: the adapter may ride
+  // RapidSample for stale_hold, but no longer — a stale movement hint must
+  // not pin the protocol in its aggressive mode.
+  Time silent_after = 5 * kSecond;
+  HintAwareRateAdapter hint(
+      HintAwareRateAdapter::HintQuery{
+          [&silent_after](Time t) -> std::optional<bool> {
+            if (t >= silent_after) return std::nullopt;
+            return true;
+          }},
+      util::Rng(7));
+  hint.pick_rate(kSecond);
+  EXPECT_TRUE(hint.mobile_mode());
+  EXPECT_FALSE(hint.degraded());
+  // Last answered query before the feed dies: the hold window runs from
+  // here (the adapter only learns of the silence at query times).
+  hint.pick_rate(silent_after - kMillisecond);
+  // Inside the hold window the last mode survives a brief gap...
+  hint.pick_rate(silent_after + 500 * kMillisecond);
+  EXPECT_TRUE(hint.mobile_mode());
+  EXPECT_FALSE(hint.degraded());
+  // ...but once the window expires the adapter falls back to SampleRate.
+  hint.pick_rate(silent_after + kSecond + kMillisecond);
+  EXPECT_FALSE(hint.mobile_mode());
+  EXPECT_TRUE(hint.degraded());
+}
+
+TEST(HintAwareTest, DegradedAdapterRecoversWhenFeedReturns) {
+  std::optional<bool> answer = std::nullopt;
+  HintAwareRateAdapter hint(
+      HintAwareRateAdapter::HintQuery{[&answer](Time) { return answer; }},
+      util::Rng(8));
+  hint.pick_rate(0);
+  EXPECT_TRUE(hint.degraded());  // never answered: degrade immediately
+  answer = true;
+  hint.pick_rate(kSecond);
+  EXPECT_FALSE(hint.degraded());
+  EXPECT_TRUE(hint.mobile_mode());
+}
+
+TEST(HintAwareTest, StoreHintQueryReportsIgnorance) {
+  core::HintStore store;
+  const auto query = HintAwareRateAdapter::store_hint_query(store, 5);
+  // Never updated: unlike store_query's legacy "static" fallback, the
+  // degradation-aware wiring admits it does not know.
+  EXPECT_FALSE(query.fn(0).has_value());
+  store.update(core::Hint::movement(true, kSecond, 5));
+  const auto fresh = query.fn(kSecond + kMillisecond);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(*fresh);
+  // Receive watermark ages past max_age (default 5 s): ignorance again.
+  EXPECT_FALSE(query.fn(7 * kSecond).has_value());
+}
+
+TEST(HintAwareTest, LegacyMovingQueryNeverDegrades) {
+  // A bool query cannot answer nullopt, so the degraded path must be
+  // unreachable — legacy behavior is bit-identical by construction.
+  HintAwareRateAdapter hint([](Time) { return false; }, util::Rng(9));
+  for (Time t = 0; t < 30 * kSecond; t += kSecond) {
+    hint.pick_rate(t);
+    EXPECT_FALSE(hint.degraded());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Trace runner
 
 TEST(TraceRunnerTest, PerfectChannelDeliversEverything) {

@@ -197,6 +197,59 @@ TEST(AdaptiveProberTest, SavesProbesVersusAlwaysFast) {
   EXPECT_GT(adaptive, 60U);
 }
 
+TEST(AdaptiveProberTest, DeadHintFeedFallsBackToStaticRate) {
+  // The feed never answers: after hint_timeout the prober must settle at
+  // its hint-free fallback (default: the static rate), not freeze or race.
+  AdaptiveProber dead(AdaptiveProber::HintQuery{
+      [](Time) { return std::optional<bool>(); }});
+  AdaptiveProber static_hint([](Time) { return false; });
+  const auto degraded = dead.schedule(60 * kSecond);
+  const auto baseline = static_hint.schedule(60 * kSecond);
+  // Never-answered feeds degrade from t=0, so the schedules are identical.
+  EXPECT_EQ(degraded, baseline);
+}
+
+TEST(AdaptiveProberTest, SilenceAfterMotionDegradesAfterTimeout) {
+  // Hints flow ("moving") for 5 s, then the feed dies. Within hint_timeout
+  // the prober keeps the fast rate; past it, probes come at the fallback
+  // interval.
+  AdaptiveProber prober(AdaptiveProber::HintQuery{
+      [](Time t) -> std::optional<bool> {
+        if (t < 5 * kSecond) return true;
+        return std::nullopt;
+      }});
+  const auto schedule = prober.schedule(20 * kSecond);
+  int fast_probes = 0, late_probes = 0;
+  for (const Time t : schedule) {
+    if (t < 5 * kSecond) ++fast_probes;
+    if (t >= 8 * kSecond) ++late_probes;
+  }
+  EXPECT_GE(fast_probes, 45);  // ~10/s while hints flow
+  // Fallback regime in the final 12 s: ~1 probe/s, nowhere near 10/s.
+  EXPECT_GE(late_probes, 8);
+  EXPECT_LE(late_probes, 16);
+}
+
+TEST(AdaptiveProberTest, FallbackRateOverrideHonored) {
+  AdaptiveProber::Params params;
+  params.fallback_probes_per_s = 4.0;
+  AdaptiveProber prober(
+      AdaptiveProber::HintQuery{[](Time) { return std::optional<bool>(); }},
+      params);
+  const auto schedule = prober.schedule(10 * kSecond);
+  EXPECT_EQ(schedule.size(), 40U);  // degraded from t=0 at 4 probes/s
+}
+
+TEST(AdaptiveProberTest, LegacyMovingQueryScheduleUnchangedByDegradationPath) {
+  // A bool query is wrapped into an always-answering HintQuery; the
+  // degradation machinery must be invisible to it.
+  const auto moving = [](Time t) { return t < 5 * kSecond; };
+  AdaptiveProber legacy(moving);
+  AdaptiveProber wrapped(AdaptiveProber::HintQuery{
+      [&moving](Time t) { return std::optional<bool>(moving(t)); }});
+  EXPECT_EQ(legacy.schedule(30 * kSecond), wrapped.schedule(30 * kSecond));
+}
+
 TEST(AdaptiveProberTest, AdaptiveTracksAsWellAsFastOnMixedTrace) {
   channel::TraceGeneratorConfig cfg;
   cfg.env = channel::Environment::kOffice;

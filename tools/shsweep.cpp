@@ -20,6 +20,7 @@
 
 #include "exp/json.h"
 #include "experiment_config.h"
+#include "fault/fault_config.h"
 
 using namespace sh;
 
@@ -36,6 +37,8 @@ struct Options {
   std::string out_path;
   std::string name = "shsweep";
   bool quiet = false;
+  fault::FaultConfig fault;
+  double hint_max_age_ms = 2000.0;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -51,7 +54,13 @@ struct Options {
       "  --mobility LIST  comma list of static,mobile\n"
       "  --out FILE       write sh.sweep.v1 JSON results\n"
       "  --name NAME      sweep name recorded in the JSON\n"
-      "  --quiet          no summary table on stdout\n",
+      "  --quiet          no summary table on stdout\n"
+      "  --fault KEY=VAL  set a fault field (repeatable); keys as in\n"
+      "                   DESIGN.md, e.g. hint_drop_rate=0.5,\n"
+      "                   sensor_dropout_rate=1, hint_staleness_ms=3000\n"
+      "  --hint-max-age-ms M\n"
+      "                   staleness watermark for the hint-aware protocol\n"
+      "                   when faults are active (default 2000)\n",
       argv0);
   std::exit(code);
 }
@@ -101,6 +110,16 @@ Options parse(int argc, char** argv) {
       o.out_path = v;
     } else if (const char* v = arg("--name")) {
       o.name = v;
+    } else if (const char* v = arg("--fault")) {
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr ||
+          !fault::set_fault_field(o.fault, std::string(v, eq),
+                                  std::atof(eq + 1))) {
+        std::fprintf(stderr, "bad --fault setting '%s'\n", v);
+        usage(argv[0], 2);
+      }
+    } else if (const char* v = arg("--hint-max-age-ms")) {
+      o.hint_max_age_ms = std::atof(v);
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       o.quiet = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -142,6 +161,11 @@ int main(int argc, char** argv) {
         point.params = {{"environment", env_name},
                         {"mobility", mob},
                         {"offset_db", exp::json_number(offset_db(k))}};
+        // Only non-default fault fields are emitted, so a fault-free sweep's
+        // JSON is byte-identical to builds that predate fault injection.
+        for (auto& kv : fault::fault_params(o.fault)) {
+          point.params.push_back(std::move(kv));
+        }
         point.repetitions = o.reps;
         points.push_back(std::move(point));
         cells.push_back(Cell{env, mobile, k});
@@ -168,7 +192,17 @@ int main(int argc, char** argv) {
         const auto trace = channel::generate_trace(cfg);
         rate::RunConfig run;
         run.workload = rate::Workload::kTcp;
-        auto sample = bench::protocol_metrics(trace, run);
+        // A null fault config must take the exact pre-fault code path so the
+        // JSON stays byte-identical; the faulty path routes the hint-aware
+        // protocol through a MovementFeed seeded from ctx.fault_seed.
+        auto sample =
+            o.fault.is_null()
+                ? bench::protocol_metrics(trace, run)
+                : bench::protocol_metrics(
+                      trace, run,
+                      bench::faulty_truth_query(
+                          trace, o.fault, ctx.fault_seed,
+                          seconds(o.hint_max_age_ms / 1000.0)));
         sample.set("delivery_6m", trace.delivery_ratio(mac::slowest_rate()));
         return sample;
       });
