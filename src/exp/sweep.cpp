@@ -81,6 +81,8 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
   }
 
   std::vector<MetricSample> samples(total);
+  // Wall-clock timing feeds only the stderr progress summary
+  // (wall_seconds); it never reaches metrics or JSON. shlint:allow(D1)
   const auto t0 = std::chrono::steady_clock::now();
   pool_.parallel_for(total, [&](std::size_t i) {
     // Locate the point owning run i (points are few; linear scan is cheap
@@ -95,7 +97,7 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
     ctx.fault_seed = util::Rng::derive_seed(ctx.seed, kFaultSeedStream);
     samples[i] = fn(points[p], ctx);
   });
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // shlint:allow(D1)
 
   SweepResult result;
   result.name = config_.name;

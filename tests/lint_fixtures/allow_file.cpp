@@ -1,0 +1,7 @@
+// shlint:allow-file(D2) — this fixture opts the whole file out of D2 (a
+// vendored-generator shim would look like this).  D1 is still enforced.
+#include <random>
+
+unsigned raw_engine(unsigned seed) { return std::mt19937(seed)(); }
+
+unsigned another_raw_engine(unsigned seed) { return std::mt19937_64(seed)(); }

@@ -1,0 +1,16 @@
+// Every violation here is suppressed by an inline escape hatch, so shlint
+// must exit 0: same-line allow, line-above allow, and a multi-rule allow.
+#include <chrono>
+#include <random>
+
+long long timing_shim() {
+  return std::chrono::steady_clock::now()  // shlint:allow(D1) stderr-only
+      .time_since_epoch()
+      .count();
+}
+
+// shlint:allow(D1) — the line-above form.
+long epoch_for_log_banner() { return time(nullptr); }
+
+// shlint:allow(D1, D2) — one comment may name several rules.
+unsigned mixed() { return std::mt19937(std::random_device{}())(); }

@@ -1,0 +1,6 @@
+// One unsuppressed D1 violation.  lint_test runs shlint over this file
+// twice: bare (expects the diagnostic) and with a temporary allowlist
+// containing `D1 allowlisted.cpp` (expects a clean exit).
+#include <ctime>
+
+long wall_seconds() { return time(nullptr); }  // line 6: D1

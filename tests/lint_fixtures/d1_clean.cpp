@@ -1,0 +1,23 @@
+// Clean counterpart to d1_violation.cpp: every quantity that looked like
+// it needed a wall clock or ambient entropy comes from the simulation
+// instead — seeds are explicit, time is sh::Time-style integral ticks.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() { return state += 0x9E3779B97F4A7C15ULL; }
+  std::uint64_t state;
+};
+
+std::uint64_t seeded_entropy(std::uint64_t seed) { return Rng(seed).next(); }
+
+long long simulated_now(long long sim_ticks_us) { return sim_ticks_us; }
+
+// A member named like a banned function is fine: `sim.time()` is the
+// simulated clock, not <ctime>.
+struct Sim {
+  long long time() const { return now_us; }
+  long long now_us = 0;
+};
+
+long long via_member(const Sim& sim) { return sim.time(); }

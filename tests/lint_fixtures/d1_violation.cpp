@@ -1,0 +1,31 @@
+// Seeded D1 violations: one per banned nondeterminism source.
+// lint_test asserts the exact rule IDs and line numbers below.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+unsigned ambient_entropy() {
+  std::random_device rd;  // line 10: D1
+  return rd();
+}
+
+long long wall_clock_ms() {
+  const auto now = std::chrono::system_clock::now();  // line 15: D1
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long long monotonic_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // 21
+}
+
+long epoch_seconds() {
+  return time(nullptr);  // line 26: D1
+}
+
+const char* config_from_environment() {
+  return std::getenv("SH_CONFIG");  // line 30: D1
+}

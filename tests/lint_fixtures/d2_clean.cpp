@@ -1,0 +1,16 @@
+// Clean counterpart to d2_violation.cpp: randomness flows through the
+// repo's seeded generator facade instead of raw <random> machinery.
+#include <cstdint>
+
+namespace util {
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  double uniform() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  }
+  std::uint64_t state;
+};
+}  // namespace util
+
+double facade_sample(std::uint64_t seed) { return util::Rng(seed).uniform(); }

@@ -1,0 +1,8 @@
+// Seeded D2 violations: raw <random> machinery outside util::Rng.
+#include <random>
+
+double raw_engine_sample(unsigned seed) {
+  std::mt19937 gen(seed);                           // line 5: D2
+  std::uniform_real_distribution<double> u(0, 1);   // line 6: D2
+  return u(gen);
+}

@@ -1,0 +1,18 @@
+// Clean counterpart to d3_violation.cpp.  Two legitimate shapes:
+//  1. ordered std::map iteration feeding output — deterministic;
+//  2. unordered_map used purely as a lookup table, nothing printed.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+void print_metrics(const std::map<std::string, double>& metrics) {
+  for (const auto& kv : metrics) {
+    std::printf("%s=%f\n", kv.first.c_str(), kv.second);
+  }
+}
+
+double lookup_only(const std::unordered_map<int, double>& table, int key) {
+  const auto it = table.find(key);
+  return it == table.end() ? 0.0 : it->second;
+}

@@ -1,0 +1,18 @@
+// Seeded D3 violations: unordered iteration in a file that writes stdout.
+// Hash-map iteration order is unspecified, so these prints are not
+// byte-stable across standard libraries or even runs.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void print_metrics(const std::unordered_map<std::string, double>& metrics) {
+  for (const auto& kv : metrics) {                       // line 10: D3
+    std::printf("%s=%f\n", kv.first.c_str(), kv.second);
+  }
+}
+
+double first_seen(const std::unordered_set<int>& seen) {
+  const auto it = seen.begin();                          // line 16: D3
+  return it == seen.end() ? 0.0 : static_cast<double>(*it);
+}

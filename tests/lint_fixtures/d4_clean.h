@@ -1,0 +1,4 @@
+// Clean counterpart to d4_violation.h.
+#pragma once
+
+inline int answer() { return 42; }

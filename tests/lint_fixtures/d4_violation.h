@@ -1,0 +1,7 @@
+// Seeded D4 violation: header without #pragma once (reported at line 1).
+#ifndef LINT_FIXTURES_D4_VIOLATION_H_
+#define LINT_FIXTURES_D4_VIOLATION_H_
+
+inline int answer() { return 42; }
+
+#endif  // LINT_FIXTURES_D4_VIOLATION_H_

@@ -1,0 +1,15 @@
+// Clean counterpart to d5_violation.cpp: the summation order is stated,
+// so the reduction is pinned and D5 is satisfied.
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  // Summation order: left-to-right over xs in index order (fixed by
+  // std::accumulate's sequential guarantee); do not parallelize.
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+long count(const std::vector<long>& xs) {
+  // Integer accumulate needs no ordering comment: addition is associative.
+  return std::accumulate(xs.begin(), xs.end(), 0L);
+}

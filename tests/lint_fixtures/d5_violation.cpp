@@ -1,0 +1,9 @@
+// Seeded D5 violation: floating-point accumulate with no ordering comment.
+// FP addition is not associative; without a stated order the reduction is
+// free to change bit patterns under refactoring.
+#include <numeric>
+#include <vector>
+
+double total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);  // line 8: D5
+}

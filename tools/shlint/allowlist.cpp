@@ -1,0 +1,75 @@
+#include "shlint/allowlist.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace sh::lint {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool known_rule(const std::string& id) {
+  if (id == "*") return true;
+  for (const RuleInfo& r : all_rules()) {
+    if (r.id == id) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Allowlist Allowlist::parse(std::string_view text,
+                           std::vector<std::string>* errors) {
+  Allowlist out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    AllowEntry entry;
+    if (!(fields >> entry.rule >> entry.path) || !known_rule(entry.rule)) {
+      if (errors != nullptr) {
+        errors->push_back("allowlist line " + std::to_string(lineno) +
+                          ": expected 'RULE path', got '" + line + "'");
+      }
+      continue;
+    }
+    std::replace(entry.path.begin(), entry.path.end(), '\\', '/');
+    out.entries_.push_back(std::move(entry));
+  }
+  return out;
+}
+
+bool Allowlist::covers(const Diagnostic& diag) const {
+  for (const AllowEntry& e : entries_) {
+    if (e.rule != "*" && e.rule != diag.rule) continue;
+    if (diag.path == e.path) return true;
+    // Suffix match on a '/' boundary, or prefix-directory match for
+    // entries ending in '/'.
+    if (!e.path.empty() && e.path.back() == '/' &&
+        diag.path.find(e.path) != std::string::npos) {
+      return true;
+    }
+    if (diag.path.size() > e.path.size() &&
+        diag.path.compare(diag.path.size() - e.path.size(), e.path.size(),
+                          e.path) == 0 &&
+        diag.path[diag.path.size() - e.path.size() - 1] == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sh::lint

@@ -1,0 +1,45 @@
+// Checked-in, file-scoped suppressions for shlint.
+//
+// Format, one entry per line:
+//
+//   # comment
+//   D1 tests/exp_test.cpp        — suppress rule D1 in that file
+//   *  tools/generated/          — suppress every rule under a prefix
+//
+// The path is matched as a `/`-boundary suffix of the diagnostic's
+// normalized path, so entries stay valid whether shlint is invoked with
+// relative or absolute paths.  Prefer the inline `// shlint:allow(RULE)`
+// annotation when the reason is local to one line; use the allowlist when
+// a whole file is legitimately exempt and the reason belongs next to the
+// entry, not in the file.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shlint/rules.h"
+
+namespace sh::lint {
+
+struct AllowEntry {
+  std::string rule;  ///< Rule ID, or "*" for every rule.
+  std::string path;  ///< Path suffix, normalized to forward slashes.
+};
+
+class Allowlist {
+ public:
+  /// Parse allowlist text. Unparseable lines are reported via `errors`.
+  static Allowlist parse(std::string_view text,
+                         std::vector<std::string>* errors);
+
+  /// True when the diagnostic is covered by an entry.
+  bool covers(const Diagnostic& diag) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<AllowEntry> entries_;
+};
+
+}  // namespace sh::lint

@@ -1,0 +1,53 @@
+// Lightweight C++ source scanner for shlint.
+//
+// shlint does not parse C++ — it lexes it just far enough to make the
+// determinism rules reliable: comments and string/character literals are
+// blanked out of the "code view" (so a banned name inside a string or a
+// comment never fires), while comment text is kept per line (so the
+// `// shlint:allow(RULE)` escape hatch and D5's ordering comments can be
+// found).  This is the same trade-off genthat-style invariant checkers
+// make: a fast, dependency-free approximation that is precise enough for
+// a codebase that already follows one style.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sh::lint {
+
+/// A source file split into per-line code and comment views.  Both vectors
+/// have one entry per physical line.  `code[i]` is line i with comment and
+/// literal *contents* replaced by spaces (delimiters are kept, so column
+/// numbers in the original file still line up).  `comments[i]` is the text
+/// of every comment that overlaps line i, concatenated.
+struct FileScan {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+
+  int line_count() const { return static_cast<int>(code.size()); }
+};
+
+/// Scan raw file text.  Handles // and /* */ comments, "..." strings
+/// (including escapes and R"delim(...)delim" raw strings), '...' character
+/// literals, and C++14 digit separators (1'000'000 is code, not a literal).
+FileScan scan_source(std::string_view text);
+
+/// One (possibly qualified) identifier occurrence in the code view, e.g.
+/// `std::chrono::steady_clock`.  Lines and columns are 1-based.
+struct TokenRef {
+  std::string text;        ///< Qualified name, `::`-joined, no leading `::`.
+  int line = 0;
+  int column = 0;
+  bool member_access = false;     ///< Preceded by `.` or `->`.
+  bool global_qualified = false;  ///< Written with a leading `::`.
+  bool followed_by_call = false;  ///< Next significant char is `(`.
+};
+
+/// Extract every qualified identifier from the code view, in source order.
+std::vector<TokenRef> qualified_identifiers(const FileScan& scan);
+
+/// Split a qualified name into its `::`-separated segments.
+std::vector<std::string> split_segments(std::string_view qualified);
+
+}  // namespace sh::lint

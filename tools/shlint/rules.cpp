@@ -1,0 +1,462 @@
+#include "shlint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sh::lint {
+namespace {
+
+std::string normalize_path(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// The one module allowed to touch raw entropy/engine machinery.
+bool is_rng_module(std::string_view path) {
+  return ends_with(path, "src/util/rng.h") ||
+         ends_with(path, "src/util/rng.cpp");
+}
+
+bool is_header(std::string_view path) {
+  return ends_with(path, ".h") || ends_with(path, ".hpp");
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// True when `entry` ("steady_clock" or "this_thread::get_id") appears as a
+/// contiguous run of the token's segments — `std::chrono::steady_clock` and
+/// `std::chrono::steady_clock::now` both match "steady_clock".
+bool segment_suffix_match(const std::vector<std::string>& segs,
+                          std::string_view entry) {
+  const std::vector<std::string> want = split_segments(entry);
+  if (want.empty() || want.size() > segs.size()) return false;
+  for (std::size_t i = 0; i + want.size() <= segs.size(); ++i) {
+    if (std::equal(want.begin(), want.end(), segs.begin() + i)) return true;
+  }
+  return false;
+}
+
+/// True for function-style bans ("time", "rand"): the call must be the bare
+/// name, std::name, or ::name — `sim.time()` or `airtime(...)` never match.
+bool banned_call_match(const TokenRef& tok,
+                       const std::vector<std::string>& segs,
+                       std::string_view name) {
+  if (!tok.followed_by_call || tok.member_access) return false;
+  if (segs.size() == 1) return segs[0] == name;
+  return segs.size() == 2 && segs[0] == "std" && segs[1] == name;
+}
+
+// ---- D1 / D2 ban tables -------------------------------------------------
+
+const char* const kD1Types[] = {
+    "random_device",     "system_clock",       "steady_clock",
+    "high_resolution_clock", "this_thread::get_id",
+};
+
+const char* const kD1Calls[] = {
+    "rand",         "srand",          "time",   "clock",
+    "getenv",       "gettimeofday",   "timespec_get",
+    "clock_gettime",
+};
+
+const char* const kD2Types[] = {
+    "mt19937",      "mt19937_64",    "minstd_rand", "minstd_rand0",
+    "default_random_engine", "knuth_b", "ranlux24",  "ranlux48",
+    "seed_seq",
+};
+
+// ---- Flattened code view, for constructs that span lines ----------------
+
+struct Flat {
+  std::string text;        // Code view joined by '\n'.
+  std::vector<int> line;   // 1-based source line of every char in `text`.
+  std::vector<std::size_t> line_offset;  // Offset of each line's first char.
+
+  std::size_t offset_of(const TokenRef& tok) const {
+    return line_offset[static_cast<std::size_t>(tok.line - 1)] +
+           static_cast<std::size_t>(tok.column - 1);
+  }
+};
+
+Flat flatten(const FileScan& scan) {
+  Flat f;
+  for (int ln = 0; ln < scan.line_count(); ++ln) {
+    f.line_offset.push_back(f.text.size());
+    const std::string& l = scan.code[static_cast<std::size_t>(ln)];
+    f.text += l;
+    f.text += '\n';
+    f.line.insert(f.line.end(), l.size() + 1, ln + 1);
+  }
+  return f;
+}
+
+/// Index just past the matching closer for the opener at `open`, or npos.
+std::size_t match_forward(const std::string& s, std::size_t open, char oc,
+                          char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == oc) ++depth;
+    if (s[i] == cc && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t skip_spaces(const std::string& s, std::size_t i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\n' || s[i] == '\t')) {
+    ++i;
+  }
+  return i;
+}
+
+/// Declaration context for an unqualified function-style ban: in
+/// `DopplerClock clock(scenario)` or `const FaultClock& clock() const`,
+/// the name is being *declared*, not called.  Preceding identifier (other
+/// than a control keyword), `&`, `*`, or `>` marks a declaration.
+bool declaration_context(const Flat& flat, std::size_t tok_start) {
+  std::size_t p = tok_start;
+  while (p > 0 && (flat.text[p - 1] == ' ' || flat.text[p - 1] == '\n' ||
+                   flat.text[p - 1] == '\t')) {
+    --p;
+  }
+  if (p == 0) return false;
+  const char c = flat.text[p - 1];
+  if (c == '&' || c == '*' || c == '>') return true;
+  if (!is_ident_char(c)) return false;
+  std::string word;
+  while (p > 0 && is_ident_char(flat.text[p - 1])) word.insert(0, 1, flat.text[--p]);
+  static const std::set<std::string> kCallKeywords = {
+      "return", "else", "case", "throw", "co_return", "co_yield", "co_await"};
+  return kCallKeywords.count(word) == 0;
+}
+
+/// Does the argument text of an accumulate/reduce call mention floats?
+bool mentions_floating_point(std::string_view args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != '.') continue;
+    const bool digit_after =
+        i + 1 < args.size() &&
+        std::isdigit(static_cast<unsigned char>(args[i + 1])) != 0;
+    if (!digit_after) continue;
+    // `x.5` is member access only if an identifier char precedes the dot
+    // and that char is not a digit (members can't start with a digit
+    // anyway, so digit-dot-digit is always a literal).
+    const bool ident_before = i > 0 && is_ident_char(args[i - 1]) &&
+                              std::isdigit(static_cast<unsigned char>(
+                                  args[i - 1])) == 0;
+    if (!ident_before) return true;
+  }
+  // A double/float token (cast, template arg, or literal suffix handled
+  // above) also counts.
+  for (const char* word : {"double", "float"}) {
+    std::size_t pos = 0;
+    const std::string_view w(word);
+    while ((pos = args.find(w, pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || !is_ident_char(args[pos - 1]);
+      const std::size_t end = pos + w.size();
+      const bool right_ok = end >= args.size() || !is_ident_char(args[end]);
+      if (left_ok && right_ok) return true;
+      pos = end;
+    }
+  }
+  return false;
+}
+
+// ---- Allow annotations --------------------------------------------------
+
+/// Collect rule IDs inside every `marker(...)` in the comment text.
+void collect_allow_ids(std::string_view comment, std::string_view marker,
+                       std::vector<std::string>* out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string_view::npos) {
+    pos += marker.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) break;
+    std::string id;
+    for (std::size_t i = pos; i <= close; ++i) {
+      const char c = i < close ? comment[i] : ',';
+      if (c == ',' || c == ' ') {
+        if (!id.empty()) out->push_back(id);
+        id.clear();
+      } else {
+        id += c;
+      }
+    }
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1",
+       "no nondeterminism sources (random_device, rand, time, wall clocks, "
+       "getenv, this_thread::get_id) outside src/util/rng.*"},
+      {"D2",
+       "no raw <random> engines or distributions outside src/util/rng.*; "
+       "randomness flows through util::Rng / Rng::derive_seed"},
+      {"D3",
+       "no iteration over unordered_map/unordered_set in files that write "
+       "metrics/JSON/stdout (iteration order is unspecified)"},
+      {"D4", "every header starts with #pragma once"},
+      {"D5",
+       "no float/double std::accumulate / std::reduce without an explicit "
+       "ordering comment"},
+  };
+  return kRules;
+}
+
+std::vector<std::string> allows_in_comment(std::string_view comment) {
+  std::vector<std::string> ids;
+  collect_allow_ids(comment, "shlint:allow(", &ids);
+  return ids;
+}
+
+std::vector<Diagnostic> check_file(const std::string& raw_path,
+                                   const FileScan& scan) {
+  const std::string path = normalize_path(raw_path);
+  std::vector<Diagnostic> diags;
+  auto report = [&](int line, const char* rule, std::string message) {
+    diags.push_back(Diagnostic{path, line, rule, std::move(message)});
+  };
+
+  const std::vector<TokenRef> tokens = qualified_identifiers(scan);
+  const Flat flat = flatten(scan);
+  const bool rng_module = is_rng_module(path);
+
+  // -- D1 / D2: banned names ---------------------------------------------
+  if (!rng_module) {
+    for (const TokenRef& tok : tokens) {
+      if (tok.member_access) continue;
+      const std::vector<std::string> segs = split_segments(tok.text);
+      for (const char* entry : kD1Types) {
+        if (segment_suffix_match(segs, entry)) {
+          report(tok.line, "D1",
+                 "nondeterminism source '" + tok.text +
+                     "'; use the simulated clock (sh::Time) or util::Rng");
+          break;
+        }
+      }
+      for (const char* name : kD1Calls) {
+        if (banned_call_match(tok, segs, name) &&
+            (segs.size() > 1 || tok.global_qualified ||
+             !declaration_context(flat, flat.offset_of(tok)))) {
+          report(tok.line, "D1",
+                 "nondeterministic call '" + tok.text +
+                     "()'; use the simulated clock (sh::Time) or util::Rng");
+          break;
+        }
+      }
+      bool d2 = false;
+      for (const char* entry : kD2Types) {
+        if (segment_suffix_match(segs, entry)) d2 = true;
+      }
+      if (!segs.empty() && ends_with(segs.back(), "_distribution")) d2 = true;
+      if (d2) {
+        report(tok.line, "D2",
+               "raw <random> engine/distribution '" + tok.text +
+                   "'; route randomness through util::Rng / derive_seed");
+      }
+    }
+  }
+
+  // -- D3: unordered iteration in output-writing files -------------------
+  {
+    static const std::set<std::string> kOutputMarkers = {
+        "cout",   "printf", "fprintf",        "puts",
+        "fputs",  "ostream", "ofstream",      "JsonWriter",
+        "MetricRegistry"};
+    static const std::set<std::string> kUnorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+
+    bool writes_output = false;
+    for (const TokenRef& tok : tokens) {
+      const std::vector<std::string> segs = split_segments(tok.text);
+      if (!segs.empty() && kOutputMarkers.count(segs.back()) > 0) {
+        writes_output = true;
+        break;
+      }
+    }
+    if (writes_output) {
+      // Variables declared with an unordered type.
+      std::set<std::string> unordered_vars;
+      for (const TokenRef& tok : tokens) {
+        const std::vector<std::string> segs = split_segments(tok.text);
+        if (segs.empty() || kUnorderedTypes.count(segs.back()) == 0) continue;
+        std::size_t i = skip_spaces(
+            flat.text, flat.offset_of(tok) + tok.text.size() +
+                           (tok.global_qualified ? 2 : 0));
+        if (i >= flat.text.size() || flat.text[i] != '<') continue;
+        i = match_forward(flat.text, i, '<', '>');
+        if (i == std::string::npos) continue;
+        i = skip_spaces(flat.text, i);
+        while (i < flat.text.size() &&
+               (flat.text[i] == '&' || flat.text[i] == '*')) {
+          i = skip_spaces(flat.text, i + 1);
+        }
+        std::string var;
+        while (i < flat.text.size() && is_ident_char(flat.text[i])) {
+          var += flat.text[i++];
+        }
+        if (!var.empty()) unordered_vars.insert(var);
+      }
+      // Range-for over an unordered variable.
+      for (const TokenRef& tok : tokens) {
+        if (tok.text != "for" || !tok.followed_by_call) continue;
+        const std::size_t open =
+            flat.text.find('(', flat.offset_of(tok));
+        if (open == std::string::npos) continue;
+        const std::size_t end = match_forward(flat.text, open, '(', ')');
+        if (end == std::string::npos) continue;
+        // Top-level `:` that is not part of `::`.
+        std::size_t colon = std::string::npos;
+        int depth = 0;
+        for (std::size_t i = open + 1; i + 1 < end; ++i) {
+          const char c = flat.text[i];
+          if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+          if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+          if (c == ':' && depth == 0) {
+            if (flat.text[i + 1] == ':' || (i > 0 && flat.text[i - 1] == ':')) {
+              continue;
+            }
+            colon = i;
+            break;
+          }
+        }
+        if (colon == std::string::npos) continue;
+        // Last identifier of the range expression.
+        std::string range_var;
+        for (std::size_t i = colon + 1; i < end - 1; ++i) {
+          if (is_ident_char(flat.text[i])) {
+            if (i > colon + 1 && is_ident_char(flat.text[i - 1])) {
+              range_var += flat.text[i];
+            } else {
+              range_var = flat.text[i];
+            }
+          }
+        }
+        if (unordered_vars.count(range_var) > 0) {
+          report(tok.line, "D3",
+                 "iteration over unordered container '" + range_var +
+                     "' in a file that writes metrics/JSON/stdout; iterate "
+                     "a sorted copy or use std::map");
+        }
+      }
+      // Explicit .begin()/.cbegin() on an unordered variable.
+      for (const std::string& var : unordered_vars) {
+        for (const char* pat : {".begin(", ".cbegin("}) {
+          std::size_t pos = 0;
+          const std::string needle = var + pat;
+          while ((pos = flat.text.find(needle, pos)) != std::string::npos) {
+            if (pos == 0 || !is_ident_char(flat.text[pos - 1])) {
+              report(flat.line[pos], "D3",
+                     "iteration over unordered container '" + var +
+                         "' in a file that writes metrics/JSON/stdout; "
+                         "iterate a sorted copy or use std::map");
+            }
+            pos += needle.size();
+          }
+        }
+      }
+    }
+  }
+
+  // -- D4: headers carry #pragma once ------------------------------------
+  if (is_header(path)) {
+    bool has_pragma = false;
+    for (const std::string& line : scan.code) {
+      if (line.find("#pragma once") != std::string::npos) {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma) {
+      report(1, "D4", "header is missing '#pragma once'");
+    }
+  }
+
+  // -- D5: FP accumulate/reduce needs an ordering comment -----------------
+  {
+    for (const TokenRef& tok : tokens) {
+      const std::vector<std::string> segs = split_segments(tok.text);
+      const bool is_acc = banned_call_match(tok, segs, "accumulate") ||
+                          banned_call_match(tok, segs, "reduce");
+      if (!is_acc) continue;
+      std::size_t open = flat.text.find('(', flat.offset_of(tok));
+      if (open == std::string::npos) continue;
+      const std::size_t end = match_forward(flat.text, open, '(', ')');
+      if (end == std::string::npos) continue;
+      if (!mentions_floating_point(
+              std::string_view(flat.text).substr(open, end - open))) {
+        continue;
+      }
+      bool has_order_comment = false;
+      for (int ln = std::max(1, tok.line - 3); ln <= tok.line; ++ln) {
+        const std::string lower =
+            to_lower(scan.comments[static_cast<std::size_t>(ln - 1)]);
+        if (lower.find("order") != std::string::npos) {
+          has_order_comment = true;
+          break;
+        }
+      }
+      if (!has_order_comment) {
+        report(tok.line, "D5",
+               "floating-point '" + tok.text +
+                   "' without an ordering comment; state the summation "
+                   "order explicitly (it changes the result bit pattern)");
+      }
+    }
+  }
+
+  // -- Apply inline and file-scope allow annotations ----------------------
+  std::vector<std::string> file_allows;
+  for (const std::string& comment : scan.comments) {
+    collect_allow_ids(comment, "shlint:allow-file(", &file_allows);
+  }
+  auto suppressed = [&](const Diagnostic& d) {
+    for (const std::string& id : file_allows) {
+      if (id == d.rule) return true;
+    }
+    for (int ln : {d.line, d.line - 1}) {
+      if (ln < 1 || ln > scan.line_count()) continue;
+      for (const std::string& id : allows_in_comment(
+               scan.comments[static_cast<std::size_t>(ln - 1)])) {
+        if (id == d.rule) return true;
+      }
+    }
+    return false;
+  };
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : diags) {
+    if (!suppressed(d)) kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return kept;
+}
+
+}  // namespace sh::lint

@@ -1,0 +1,59 @@
+// shlint's determinism-contract rules.
+//
+// The engine's headline guarantee — sweeps and fault schedules byte-identical
+// at any thread count — is enforced dynamically by the 1-vs-8-thread golden
+// tests and TSan.  These rules are the static third layer: they ban the
+// constructs that historically break that guarantee silently (ambient RNGs,
+// wall clocks, unordered iteration feeding output, FP reduction with an
+// unstated order) before a golden test ever gets the chance to flake.
+//
+// Rule table (see DESIGN.md "Determinism contract" for rationale):
+//   D1  nondeterminism sources (random_device, rand, time, system/steady
+//       clock, getenv, this_thread::get_id) outside src/util/rng.*
+//   D2  raw <random> engines/distributions outside src/util/rng.* — all
+//       randomness flows through util::Rng / Rng::derive_seed
+//   D3  iteration over unordered_{map,set} in a file that also writes
+//       metrics/JSON/stdout (iteration order is unspecified)
+//   D4  every header carries #pragma once
+//   D5  float/double accumulate/reduce without an explicit ordering comment
+//
+// Escape hatches, in increasing scope:
+//   // shlint:allow(D1)        — same line or the line immediately above
+//   // shlint:allow-file(D1)   — anywhere in the file
+//   allowlist file             — `RULE path-suffix` lines, checked in
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shlint/lexer.h"
+
+namespace sh::lint {
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Stable list of every rule, for --list-rules and the docs.
+const std::vector<RuleInfo>& all_rules();
+
+/// Rule IDs named by shlint:allow(...) / shlint:allow-file(...) in the
+/// given comment text (empty when the comment has no allow annotation).
+std::vector<std::string> allows_in_comment(std::string_view comment);
+
+/// Run every rule over one scanned file.  Diagnostics suppressed by inline
+/// allow comments or a file-scope allow are already filtered out; the
+/// allowlist file is applied by the driver.
+std::vector<Diagnostic> check_file(const std::string& path,
+                                   const FileScan& scan);
+
+}  // namespace sh::lint

@@ -1,0 +1,190 @@
+// shlint — static enforcement of the repo's determinism contract.
+//
+// The sweep engine promises byte-identical output at any thread count
+// (DESIGN.md "Sweep engine"); the fault layer promises schedules that are
+// pure functions of (seed, stream, index).  Both promises die silently the
+// moment someone reads a wall clock into a metric or iterates an unordered
+// map into JSON.  shlint is the static layer of that contract: it scans the
+// sources with a lightweight lexer (no libclang) and reports file:line
+// diagnostics with rule IDs.
+//
+// Usage:
+//   shlint [options] PATH...
+//     PATH             file, or directory scanned recursively for
+//                      .h/.hpp/.cc/.cpp/.cxx (directories containing a
+//                      `.shlint-skip` marker are pruned — lint fixtures
+//                      with seeded violations live behind one)
+//   --allowlist FILE   file-scoped suppressions (default:
+//                      tools/shlint/allowlist.txt when it exists)
+//   --list-rules       print the rule table and exit
+//   --quiet            no summary line on stderr
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "shlint/allowlist.h"
+#include "shlint/lexer.h"
+#include "shlint/rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kDefaultAllowlist = "tools/shlint/allowlist.txt";
+constexpr const char* kSkipMarker = ".shlint-skip";
+
+struct Options {
+  std::vector<std::string> paths;
+  std::string allowlist_path;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: shlint [--allowlist FILE] [--list-rules] [--quiet] "
+               "PATH...\n");
+  std::exit(code);
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+/// Expand files and directories into a sorted, deduplicated file list.
+/// Sorting keeps diagnostics in a stable order no matter how the shell
+/// expanded the arguments — the linter holds itself to its own contract.
+std::vector<std::string> collect_files(const std::vector<std::string>& paths,
+                                       bool* ok) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, ec);
+      if (ec) {
+        std::fprintf(stderr, "shlint: cannot read directory '%s'\n",
+                     p.c_str());
+        *ok = false;
+        continue;
+      }
+      for (auto end = fs::end(it); it != end; it.increment(ec)) {
+        if (ec) break;
+        if (it->is_directory() &&
+            fs::exists(it->path() / kSkipMarker, ec)) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable_extension(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      // Explicit file arguments are always scanned, marker or not — this
+      // is how the fixture tests point shlint at seeded violations.
+      files.push_back(fs::path(p).generic_string());
+    } else {
+      std::fprintf(stderr, "shlint: no such file or directory: '%s'\n",
+                   p.c_str());
+      *ok = false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool explicit_allowlist = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) usage(2);
+      opt.allowlist_path = argv[++i];
+      explicit_allowlist = true;
+    } else if (arg == "--list-rules") {
+      for (const sh::lint::RuleInfo& r : sh::lint::all_rules()) {
+        std::printf("%s  %s\n", r.id.c_str(), r.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help") {
+      usage(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "shlint: unknown option '%s'\n", arg.c_str());
+      usage(2);
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  if (opt.paths.empty()) usage(2);
+
+  sh::lint::Allowlist allowlist;
+  {
+    std::string al_path = opt.allowlist_path;
+    if (!explicit_allowlist && fs::exists(kDefaultAllowlist)) {
+      al_path = kDefaultAllowlist;
+    }
+    if (!al_path.empty()) {
+      std::string text;
+      if (!read_file(al_path, &text)) {
+        std::fprintf(stderr, "shlint: cannot read allowlist '%s'\n",
+                     al_path.c_str());
+        return 2;
+      }
+      std::vector<std::string> errors;
+      allowlist = sh::lint::Allowlist::parse(text, &errors);
+      for (const std::string& e : errors) {
+        std::fprintf(stderr, "shlint: %s: %s\n", al_path.c_str(), e.c_str());
+      }
+      if (!errors.empty()) return 2;
+    }
+  }
+
+  bool ok = true;
+  const std::vector<std::string> files = collect_files(opt.paths, &ok);
+  if (!ok) return 2;
+
+  std::size_t violations = 0;
+  for (const std::string& file : files) {
+    std::string text;
+    if (!read_file(file, &text)) {
+      std::fprintf(stderr, "shlint: cannot read '%s'\n", file.c_str());
+      return 2;
+    }
+    const sh::lint::FileScan scan = sh::lint::scan_source(text);
+    for (const sh::lint::Diagnostic& d :
+         sh::lint::check_file(file, scan)) {
+      if (allowlist.covers(d)) continue;
+      std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line,
+                  d.rule.c_str(), d.message.c_str());
+      ++violations;
+    }
+  }
+
+  if (!opt.quiet) {
+    std::fprintf(stderr, "shlint: scanned %zu files, %zu violation(s)\n",
+                 files.size(), violations);
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -92,25 +92,28 @@ Options parse(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0], 2);
       return static_cast<const char*>(argv[++i]);
     };
-    if (const char* v = arg("--threads")) {
+    // One `v` for the whole chain: a fresh declaration per `else if` arm
+    // would shadow the previous one now that -Wshadow is an error.
+    const char* v = nullptr;
+    if ((v = arg("--threads")) != nullptr) {
       o.threads = std::atoi(v);
-    } else if (const char* v = arg("--base-seed")) {
+    } else if ((v = arg("--base-seed")) != nullptr) {
       o.base_seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = arg("--reps")) {
+    } else if ((v = arg("--reps")) != nullptr) {
       o.reps = std::atoi(v);
-    } else if (const char* v = arg("--duration-s")) {
+    } else if ((v = arg("--duration-s")) != nullptr) {
       o.duration_s = std::atof(v);
-    } else if (const char* v = arg("--offsets")) {
+    } else if ((v = arg("--offsets")) != nullptr) {
       o.offsets = std::atoi(v);
-    } else if (const char* v = arg("--envs")) {
+    } else if ((v = arg("--envs")) != nullptr) {
       o.envs = split_csv(v);
-    } else if (const char* v = arg("--mobility")) {
+    } else if ((v = arg("--mobility")) != nullptr) {
       o.mobility = split_csv(v);
-    } else if (const char* v = arg("--out")) {
+    } else if ((v = arg("--out")) != nullptr) {
       o.out_path = v;
-    } else if (const char* v = arg("--name")) {
+    } else if ((v = arg("--name")) != nullptr) {
       o.name = v;
-    } else if (const char* v = arg("--fault")) {
+    } else if ((v = arg("--fault")) != nullptr) {
       const char* eq = std::strchr(v, '=');
       if (eq == nullptr ||
           !fault::set_fault_field(o.fault, std::string(v, eq),
@@ -118,7 +121,7 @@ Options parse(int argc, char** argv) {
         std::fprintf(stderr, "bad --fault setting '%s'\n", v);
         usage(argv[0], 2);
       }
-    } else if (const char* v = arg("--hint-max-age-ms")) {
+    } else if ((v = arg("--hint-max-age-ms")) != nullptr) {
       o.hint_max_age_ms = std::atof(v);
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       o.quiet = true;
