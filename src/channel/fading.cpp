@@ -10,35 +10,45 @@ constexpr double kTwoPi = 2.0 * std::numbers::pi;
 constexpr double kGainFloorDb = -40.0;
 }  // namespace
 
+FadingProcess::RicianMix FadingProcess::RicianMix::from_k(
+    double rician_k) noexcept {
+  // Scattered power is E[gi^2 + gq^2] = 1. Mixing the LOS component in with
+  // these weights keeps total mean power at 1: scattered gets 1/(K+1), LOS
+  // gets K/(K+1).
+  RicianMix mix;
+  mix.scatter_scale = std::sqrt(1.0 / (rician_k + 1.0));
+  mix.los_amp = std::sqrt(rician_k / (rician_k + 1.0));
+  return mix;
+}
+
 FadingProcess::FadingProcess(util::Rng& rng, int num_paths)
     : los_phase_(rng.uniform(0.0, kTwoPi)),
       norm_(1.0 / std::sqrt(static_cast<double>(num_paths))) {
   assert(num_paths > 0);
   paths_.reserve(static_cast<std::size_t>(num_paths));
   for (int n = 0; n < num_paths; ++n) {
-    paths_.push_back(Path{std::cos(rng.uniform(0.0, kTwoPi)),
+    // omega = 2*pi*cos(alpha), stored premultiplied: the per-sample phase
+    // kTwoPi * cos_alpha * tau associates left, so (kTwoPi * cos_alpha) can
+    // be folded at construction without changing a bit of the result.
+    paths_.push_back(Path{kTwoPi * std::cos(rng.uniform(0.0, kTwoPi)),
                           rng.uniform(0.0, kTwoPi), rng.uniform(0.0, kTwoPi)});
   }
 }
 
-double FadingProcess::gain_db(double tau, double rician_k) const noexcept {
+double FadingProcess::gain_db(double tau, const RicianMix& mix) const noexcept {
   double gi = 0.0;
   double gq = 0.0;
   for (const auto& p : paths_) {
-    const double theta = kTwoPi * p.cos_alpha * tau;
+    const double theta = p.omega * tau;
     gi += std::cos(theta + p.phase_i);
     gq += std::cos(theta + p.phase_q);
   }
   gi *= norm_;
   gq *= norm_;
-  // Scattered power is E[gi^2 + gq^2] = 1. Mix in the LOS component so total
-  // mean power stays 1: scattered gets 1/(K+1), LOS gets K/(K+1).
-  const double scatter_scale = std::sqrt(1.0 / (rician_k + 1.0));
-  const double los_amp = std::sqrt(rician_k / (rician_k + 1.0));
   // LOS arrives head-on: its Doppler phase advances at the full rate.
   const double los_theta = kTwoPi * tau + los_phase_;
-  const double i = scatter_scale * gi + los_amp * std::cos(los_theta);
-  const double q = scatter_scale * gq + los_amp * std::sin(los_theta);
+  const double i = mix.scatter_scale * gi + mix.los_amp * std::cos(los_theta);
+  const double q = mix.scatter_scale * gq + mix.los_amp * std::sin(los_theta);
   const double power = i * i + q * q;
   if (power <= 0.0) return kGainFloorDb;
   const double db = 10.0 * std::log10(power);
@@ -85,6 +95,19 @@ double DopplerClock::doppler_hz_at(Time t) const noexcept {
     seg = &s;
   }
   return seg->hz;
+}
+
+const DopplerClock::Segment& DopplerClock::Cursor::segment_at(
+    Time t) noexcept {
+  const auto& segments = clock_->segments_;
+  // Random-access fallback: a backwards step restarts the walk from the
+  // first segment. Either way the selected segment is the last one whose
+  // start is <= t — exactly what the linear scan in tau_at picks.
+  if (segments[index_].start > t) index_ = 0;
+  while (index_ + 1 < segments.size() && segments[index_ + 1].start <= t) {
+    ++index_;
+  }
+  return segments[index_];
 }
 
 ShadowingProcess::ShadowingProcess(util::Rng& rng, double sigma_db,

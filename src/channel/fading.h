@@ -23,6 +23,17 @@ namespace sh::channel {
 /// (0 dB), i.e. the process only redistributes power around the mean SNR.
 class FadingProcess {
  public:
+  /// Rician mixing weights for a fixed K factor, hoisted out of the
+  /// per-sample path: gain_db(tau, RicianMix::from_k(k)) is bit-identical
+  /// to gain_db(tau, k) — the weights are the very same sqrt expressions —
+  /// but a caller sampling many times at a constant K (one mobility state
+  /// spans thousands of trace slots) pays the two square roots once.
+  struct RicianMix {
+    double scatter_scale = 1.0;  ///< sqrt(1 / (K + 1)).
+    double los_amp = 0.0;        ///< sqrt(K / (K + 1)).
+    static RicianMix from_k(double rician_k) noexcept;
+  };
+
   /// `num_paths` scattered components; 8+ gives an acceptably Rayleigh-like
   /// envelope, 16 is the default.
   explicit FadingProcess(util::Rng& rng, int num_paths = 16);
@@ -30,13 +41,17 @@ class FadingProcess {
   /// Power gain in dB at Doppler time `tau`, mixing a fixed line-of-sight
   /// component of Rician factor `k` (k = 0 -> pure Rayleigh) with the
   /// scattered sum. Gain is floored at -40 dB to keep downstream math finite.
-  double gain_db(double tau, double rician_k = 0.0) const noexcept;
+  double gain_db(double tau, double rician_k = 0.0) const noexcept {
+    return gain_db(tau, RicianMix::from_k(rician_k));
+  }
+  /// Same gain with precomputed mixing weights (the hot-path form).
+  double gain_db(double tau, const RicianMix& mix) const noexcept;
 
  private:
   struct Path {
-    double cos_alpha;  ///< Arrival-angle cosine (scales the Doppler shift).
-    double phase_i;    ///< In-phase component phase offset.
-    double phase_q;    ///< Quadrature component phase offset.
+    double omega;    ///< 2*pi*cos(alpha): Doppler phase rate of this path.
+    double phase_i;  ///< In-phase component phase offset.
+    double phase_q;  ///< Quadrature component phase offset.
   };
   std::vector<Path> paths_;
   double los_phase_;
@@ -69,6 +84,33 @@ class DopplerClock {
     double tau_start;  ///< Accumulated cycles at segment start.
     double hz;
   };
+
+ public:
+  /// Monotone segment cursor. Sequential trace generation queries the clock
+  /// once per slot with non-decreasing times; the cursor advances the
+  /// segment index incrementally (amortized O(1)) instead of re-scanning the
+  /// segment list on every call. The arithmetic is the random-access
+  /// formula verbatim, so results are bit-identical; a query that steps
+  /// backwards resets the cursor and re-walks from the first segment, so
+  /// monotonicity is a fast path, never a correctness requirement.
+  class Cursor {
+   public:
+    explicit Cursor(const DopplerClock& clock) noexcept : clock_(&clock) {}
+
+    double tau_at(Time t) noexcept {
+      const Segment& seg = segment_at(t);
+      return seg.tau_start + seg.hz * to_seconds(t - seg.start);
+    }
+    double doppler_hz_at(Time t) noexcept { return segment_at(t).hz; }
+
+   private:
+    const Segment& segment_at(Time t) noexcept;
+
+    const DopplerClock* clock_;
+    std::size_t index_ = 0;
+  };
+
+ private:
   std::vector<Segment> segments_;
 };
 

@@ -20,6 +20,20 @@ double delivery_probability(double snr_db, mac::RateIndex rate,
   return 1.0 / (1.0 + std::exp(-x));
 }
 
+DeliveryModel::DeliveryModel(int payload_bytes, SnrModelParams params)
+    : transition_width_db_(params.transition_width_db) {
+  assert(payload_bytes > 0);
+  // Same expressions as delivery_probability, so each threshold is the very
+  // double that function would have computed.
+  const double length_shift_db =
+      0.9 * std::log2(static_cast<double>(payload_bytes) /
+                      static_cast<double>(params.reference_bytes));
+  for (mac::RateIndex r = 0; r < mac::kNumRates; ++r) {
+    threshold_db_[static_cast<std::size_t>(r)] =
+        mac::rate(r).min_snr_db + length_shift_db;
+  }
+}
+
 mac::RateIndex best_rate_for_snr(double snr_db, double target,
                                  int payload_bytes,
                                  const SnrModelParams& params) {

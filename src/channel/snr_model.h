@@ -7,6 +7,9 @@
 // little more margin).
 #pragma once
 
+#include <array>
+#include <cmath>
+
 #include "mac/rates.h"
 
 namespace sh::channel {
@@ -34,5 +37,25 @@ double delivery_probability(double snr_db, mac::RateIndex rate,
 mac::RateIndex best_rate_for_snr(double snr_db, double target = 0.9,
                                  int payload_bytes = 1000,
                                  const SnrModelParams& params = {});
+
+/// Per-rate delivery thresholds precomputed for one (payload, params) pair.
+/// probability(snr, r) is bit-identical to delivery_probability(snr, r,
+/// payload, params) — the threshold doubles come from the same expressions
+/// and the logistic arithmetic is unchanged — but the frame-length log2,
+/// constant across a trace, is paid once instead of once per slot per rate.
+class DeliveryModel {
+ public:
+  explicit DeliveryModel(int payload_bytes = 1000, SnrModelParams params = {});
+
+  double probability(double snr_db, mac::RateIndex rate) const noexcept {
+    const double x = (snr_db - threshold_db_[static_cast<std::size_t>(rate)]) /
+                     transition_width_db_;
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+
+ private:
+  std::array<double, mac::kNumRates> threshold_db_{};
+  double transition_width_db_;
+};
 
 }  // namespace sh::channel

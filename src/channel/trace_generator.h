@@ -57,6 +57,44 @@ class ChannelRealization {
   const EnvironmentProfile& profile() const noexcept { return *profile_; }
   Duration duration() const noexcept { return scenario_.total_duration(); }
 
+  /// Monotone sampling cursor over one realization. Sequential generation
+  /// queries SNR once per slot with non-decreasing times; the cursor walks
+  /// every piecewise structure behind snr_db_at — mobility phases, Doppler
+  /// and shadowing segments, interference bursts, distance checkpoints —
+  /// incrementally (amortized O(1) per query) instead of re-locating each
+  /// via a scan or binary search per call.
+  ///
+  /// Invariants (see DESIGN.md "SlotCursor"):
+  ///  * bit-identical to the random-access methods: every formula is the
+  ///    same arithmetic on the same segment, so snr_db_at/moving_at agree
+  ///    with ChannelRealization's own methods for every t;
+  ///  * monotone queries are the fast path only — a query earlier than its
+  ///    predecessor resets the affected cursor to the first segment and
+  ///    re-walks (the random-access fallback), never returns stale state.
+  class Cursor {
+   public:
+    explicit Cursor(const ChannelRealization& channel) noexcept;
+
+    double snr_db_at(Time t) noexcept;
+    bool moving_at(Time t) noexcept;
+
+   private:
+    const sim::MobilityPhase& phase_at(Time t) noexcept;
+    bool in_burst(Time t) noexcept;
+    double distance_path_loss_db(Time t) noexcept;
+
+    const ChannelRealization* ch_;
+    DopplerClock::Cursor doppler_;
+    DopplerClock::Cursor shadow_;
+    /// Rician weights for the two motion states, hoisted out of gain_db.
+    FadingProcess::RicianMix mix_static_;
+    FadingProcess::RicianMix mix_mobile_;
+    std::size_t phase_index_ = 0;
+    Time phase_start_ = 0;
+    std::size_t burst_index_ = 0;
+    std::size_t checkpoint_index_ = 0;
+  };
+
  private:
   double distance_path_loss_db(Time t) const;
   bool in_burst(Time t) const;
@@ -106,6 +144,16 @@ struct TraceGeneratorConfig {
 };
 
 /// Generates a packet-fate trace by sampling a fresh channel realization.
+///
+/// Tail policy: the trace covers exactly floor(total_duration /
+/// slot_duration) complete slots. A trailing partial slot — when the
+/// scenario's total duration is not a multiple of the slot length — is
+/// deterministically truncated, never emitted as a short slot; callers that
+/// need the tail must extend the scenario to a slot multiple.
+///
+/// Validation: throws std::invalid_argument if slot_duration or
+/// payload_bytes is not positive (checked in every build mode — release
+/// builds must not silently divide by zero where a debug build asserts).
 PacketFateTrace generate_trace(const TraceGeneratorConfig& config);
 
 }  // namespace sh::channel

@@ -28,18 +28,28 @@ double RunningStats::ci95_halfwidth() const noexcept {
   return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
 }
 
+void Percentile::sort() {
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
 double Percentile::quantile(double q) const {
   assert(!samples_.empty());
+  // No mutation here: concurrent const readers must never race. When the
+  // buffer isn't known-sorted, sort a scratch copy instead.
+  std::vector<double> scratch;
+  const std::vector<double>* samples = &samples_;
   if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+    scratch = samples_;
+    std::sort(scratch.begin(), scratch.end());
+    samples = &scratch;
   }
   q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const double pos = q * static_cast<double>(samples->size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const auto hi = std::min(lo + 1, samples->size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  return (*samples)[lo] + frac * ((*samples)[hi] - (*samples)[lo]);
 }
 
 void SlidingWindowRate::add(bool success) {
@@ -63,9 +73,19 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
-  auto bin = static_cast<std::int64_t>((x - lo_) / width_);
-  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  // NaN has no bin: (x - lo_) / width_ is NaN, every comparison below is
+  // false, and casting NaN to an integer is UB. Count it and move on.
+  if (std::isnan(x)) {
+    ++dropped_;
+    return;
+  }
+  // Clamp while still in floating point: the quotient can be ±inf or exceed
+  // int64 range (e.g. x = 1e300 with a narrow bin width), and the
+  // double→int64 cast is UB for any value outside the representable range.
+  double q = (x - lo_) / width_;
+  const double max_bin = static_cast<double>(counts_.size() - 1);
+  q = std::clamp(q, 0.0, max_bin);
+  ++counts_[static_cast<std::size_t>(q)];
   ++total_;
 }
 

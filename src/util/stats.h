@@ -43,23 +43,41 @@ class RunningStats {
 };
 
 /// Collects samples and answers order-statistics queries (median, arbitrary
-/// quantiles). Storage is O(n); queries sort a scratch copy lazily.
+/// quantiles). Storage is O(n).
+///
+/// quantile() is genuinely const: it never mutates the sample buffer. (An
+/// earlier version sorted `samples_` lazily behind `mutable`, which made two
+/// concurrent const readers — e.g. pool workers reporting the same
+/// percentile — a data race.) Unsorted buffers are sorted into a scratch
+/// copy per query; call sort() once after the last add() to make subsequent
+/// queries copy-free.
 class Percentile {
  public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
-  void clear() { samples_.clear(); sorted_ = false; }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = samples_.size() == 1;
+  }
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  /// Sorts the buffer in place so later quantile() calls skip the scratch
+  /// copy. Call after a batch of add()s; mutating, hence non-const.
+  void sort();
 
   std::size_t count() const noexcept { return samples_.size(); }
   bool empty() const noexcept { return samples_.empty(); }
 
   /// Quantile by linear interpolation between closest ranks; q in [0, 1].
-  /// Requires at least one sample.
+  /// Requires at least one sample. Thread-safe against concurrent const
+  /// access (no hidden mutation).
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;
+  bool sorted_ = false;
 };
 
 /// Exponentially weighted moving average. `alpha` is the weight of the newest
@@ -108,21 +126,32 @@ class SlidingWindowRate {
   std::size_t successes_ = 0;
 };
 
-/// Fixed-bin histogram over [lo, hi); values outside are clamped to the edge
-/// bins so mass is never silently dropped.
+/// Fixed-bin histogram over [lo, hi); finite values outside are clamped to
+/// the edge bins (including ±inf) so mass is never silently dropped. NaN
+/// carries no position at all, so it lands in a counted `dropped` bucket
+/// rather than poisoning an edge bin. Bin selection clamps in floating
+/// point *before* the integer cast — casting an out-of-range double to an
+/// integer is undefined behaviour, not saturation.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
-  void clear() noexcept { std::fill(counts_.begin(), counts_.end(), 0); total_ = 0; }
+  void clear() noexcept {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    dropped_ = 0;
+  }
 
   std::size_t bins() const noexcept { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  /// Samples binned so far (excludes dropped NaNs).
   std::uint64_t total() const noexcept { return total_; }
+  /// NaN samples rejected by add(); they are counted, never binned.
+  std::uint64_t dropped() const noexcept { return dropped_; }
   double bin_lo(std::size_t bin) const noexcept;
   double bin_hi(std::size_t bin) const noexcept;
-  /// Fraction of samples in the given bin; 0 when the histogram is empty.
+  /// Fraction of binned samples in the given bin; 0 when empty.
   double fraction(std::size_t bin) const;
 
  private:
@@ -130,6 +159,7 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace sh::util

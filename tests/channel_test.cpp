@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "channel/environment.h"
 #include "channel/fading.h"
@@ -391,6 +392,99 @@ TEST(GenerateTraceTest, DeterministicForConfig) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.slot(i).delivered, b.slot(i).delivered);
+  }
+}
+
+// Tail policy pin: a trailing partial slot is truncated, never emitted short.
+TEST(GenerateTraceTest, TrailingPartialSlotIsTruncated) {
+  TraceGeneratorConfig config;
+  config.scenario = sim::MobilityScenario::all_static(3 * kSecond);
+  EXPECT_EQ(generate_trace(config).size(), 600U);
+
+  config.scenario =
+      sim::MobilityScenario::all_static(3 * kSecond + 2 * kMillisecond);
+  EXPECT_EQ(generate_trace(config).size(), 600U);
+
+  config.scenario =
+      sim::MobilityScenario::all_static(3 * kSecond + 5 * kMillisecond);
+  EXPECT_EQ(generate_trace(config).size(), 601U);
+}
+
+// Validation must survive release builds: these used to be asserts, which
+// NDEBUG compiles away, leaving a divide-by-zero / empty trace instead.
+TEST(GenerateTraceTest, RejectsNonPositiveSlotDuration) {
+  TraceGeneratorConfig config;
+  config.scenario = sim::MobilityScenario::all_static(kSecond);
+  config.slot_duration = 0;
+  EXPECT_THROW(generate_trace(config), std::invalid_argument);
+  config.slot_duration = -5 * kMillisecond;
+  EXPECT_THROW(generate_trace(config), std::invalid_argument);
+}
+
+TEST(GenerateTraceTest, RejectsNonPositivePayload) {
+  TraceGeneratorConfig config;
+  config.scenario = sim::MobilityScenario::all_static(kSecond);
+  config.payload_bytes = 0;
+  EXPECT_THROW(generate_trace(config), std::invalid_argument);
+  config.payload_bytes = -1;
+  EXPECT_THROW(generate_trace(config), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ChannelRealization::Cursor — must be bit-identical to random access.
+
+TEST(ChannelRealizationCursorTest, MatchesRandomAccessAcrossEnvironments) {
+  const struct {
+    Environment env;
+    sim::MobilityScenario scenario;
+  } cases[] = {
+      {Environment::kOffice, sim::MobilityScenario::all_static(10 * kSecond)},
+      {Environment::kOffice,
+       sim::MobilityScenario::static_then_walking(10 * kSecond)},
+      {Environment::kHallway, sim::MobilityScenario::all_walking(10 * kSecond)},
+      {Environment::kVehicular,
+       sim::MobilityScenario::all_vehicle(30 * kSecond, 12.0)},
+  };
+  for (const auto& c : cases) {
+    ChannelRealization ch(c.env, c.scenario, 91);
+    ChannelRealization::Cursor cursor(ch);
+    // Exact equality on purpose: the cursor promises the same doubles, not
+    // merely close ones (golden-trace hashes depend on it).
+    for (Time t = 0; t < ch.duration(); t += 3 * kMillisecond) {
+      ASSERT_EQ(cursor.snr_db_at(t), ch.snr_db_at(t)) << "t=" << t;
+      ASSERT_EQ(cursor.moving_at(t), ch.moving_at(t)) << "t=" << t;
+    }
+  }
+}
+
+TEST(ChannelRealizationCursorTest, BackwardsQueryFallsBackNotStale) {
+  const auto scenario = sim::MobilityScenario::all_vehicle(30 * kSecond, 12.0);
+  ChannelRealization ch(Environment::kVehicular, scenario, 93);
+  ChannelRealization::Cursor cursor(ch);
+  // Drive the cursor deep into the trace, then jump back: every answer must
+  // still match random access (reset-and-rewalk, never stale segments).
+  ASSERT_EQ(cursor.snr_db_at(29 * kSecond), ch.snr_db_at(29 * kSecond));
+  const Time probes[] = {0,          17 * kSecond, 2 * kSecond,
+                         25 * kSecond, kMillisecond, 29 * kSecond};
+  for (const Time t : probes) {
+    ASSERT_EQ(cursor.snr_db_at(t), ch.snr_db_at(t)) << "t=" << t;
+    ASSERT_EQ(cursor.moving_at(t), ch.moving_at(t)) << "t=" << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeliveryModel — precomputed thresholds vs the free function.
+
+TEST(DeliveryModelTest, BitIdenticalToFreeFunction) {
+  for (const int payload : {64, 256, 1000, 1500}) {
+    const DeliveryModel model(payload);
+    for (double snr = -10.0; snr <= 40.0; snr += 0.7) {
+      for (mac::RateIndex r = 0; r < mac::kNumRates; ++r) {
+        ASSERT_EQ(model.probability(snr, r),
+                  delivery_probability(snr, r, payload))
+            << "payload=" << payload << " snr=" << snr << " rate=" << r;
+      }
+    }
   }
 }
 

@@ -1,0 +1,19 @@
+// Mirrors the shbench timing pattern: a steady_clock read that feeds ns/op
+// numbers only (never experiment output) is sanctioned through the inline
+// same-line allow. shlint must exit 0 — this fixture pins the exact wiring
+// tools/shbench.cpp relies on to survive the repo-wide acceptance scan.
+#include <chrono>
+
+double now_ns() {
+  const auto t = std::chrono::steady_clock::now();  // shlint:allow(D1) ns/op timing only
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+double measure_once(double (*op)()) {
+  const double t0 = now_ns();
+  const double sink = op();
+  return now_ns() - t0 + 0.0 * sink;
+}

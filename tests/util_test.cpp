@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -326,6 +329,45 @@ TEST(PercentileTest, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(p.median(), 3.0);
 }
 
+TEST(PercentileTest, ExplicitSortMatchesLazyQuery) {
+  Percentile lazy;
+  Percentile eager;
+  Rng rng(71);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    lazy.add(x);
+    eager.add(x);
+  }
+  eager.sort();
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(lazy.quantile(q), eager.quantile(q));
+  }
+}
+
+// Regression for a data race: quantile() used to sort `samples_` in place
+// behind `mutable`, so two concurrent const readers raced on the buffer.
+// Run under TSan (the `unit` label is in the TSan CI job) this test fails
+// on the old implementation and is quiet on the const-pure one.
+TEST(PercentileTest, ConcurrentConstQuantileIsRaceFree) {
+  Percentile p;
+  Rng rng(73);
+  for (int i = 0; i < 512; ++i) p.add(rng.uniform(0.0, 1.0));
+  const Percentile& shared = p;  // Readers get only const access.
+
+  std::vector<double> medians(4, 0.0);
+  std::vector<std::thread> readers;
+  readers.reserve(medians.size());
+  for (std::size_t t = 0; t < medians.size(); ++t) {
+    readers.emplace_back([&shared, &medians, t] {
+      double last = 0.0;
+      for (int i = 0; i < 50; ++i) last = shared.quantile(0.5);
+      medians[t] = last;
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (const double m : medians) EXPECT_DOUBLE_EQ(m, medians[0]);
+}
+
 // Property: quantile is monotone in q.
 TEST(PercentileTest, QuantileMonotoneInQ) {
   Percentile p;
@@ -429,6 +471,52 @@ TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
   EXPECT_EQ(h.count(0), 1U);
   EXPECT_EQ(h.count(4), 1U);
   EXPECT_EQ(h.total(), 2U);
+}
+
+// Regression: add() used to cast (x - lo) / width to int64 *before*
+// clamping — UB for NaN and for quotients outside int64 range.
+TEST(HistogramTest, NanIsDroppedAndCounted) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.dropped(), 2U);
+  EXPECT_EQ(h.total(), 1U);
+  std::uint64_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.count(b);
+  EXPECT_EQ(binned, 1U);
+}
+
+TEST(HistogramTest, InfinitiesClampToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(4), 1U);
+  EXPECT_EQ(h.count(0), 1U);
+  EXPECT_EQ(h.total(), 2U);
+  EXPECT_EQ(h.dropped(), 0U);
+}
+
+TEST(HistogramTest, QuotientBeyondInt64RangeClampsToEdgeBins) {
+  // Narrow bins make (x - lo) / width overflow int64 long before x does.
+  Histogram h(0.0, 1e-6, 4);
+  h.add(1e300);
+  h.add(-1e300);
+  h.add(std::numeric_limits<double>::max());
+  h.add(std::numeric_limits<double>::lowest());
+  EXPECT_EQ(h.count(3), 2U);
+  EXPECT_EQ(h.count(0), 2U);
+  EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(HistogramTest, ClearResetsDroppedCount) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(0.5);
+  h.clear();
+  EXPECT_EQ(h.dropped(), 0U);
+  EXPECT_EQ(h.total(), 0U);
+  EXPECT_EQ(h.count(0), 0U);
 }
 
 TEST(HistogramTest, FractionSumsToOne) {

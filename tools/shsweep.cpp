@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/trace_cache.h"
 #include "exp/json.h"
 #include "experiment_config.h"
 #include "fault/fault_config.h"
@@ -39,6 +40,10 @@ struct Options {
   bool quiet = false;
   fault::FaultConfig fault;
   double hint_max_age_ms = 2000.0;
+  /// Extra sweep dimension: one point per staleness watermark. Empty means
+  /// the single --hint-max-age-ms value with unchanged labels and seeding.
+  std::vector<double> hint_max_age_list;
+  bool trace_cache = true;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -60,7 +65,14 @@ struct Options {
       "                   sensor_dropout_rate=1, hint_staleness_ms=3000\n"
       "  --hint-max-age-ms M\n"
       "                   staleness watermark for the hint-aware protocol\n"
-      "                   when faults are active (default 2000)\n",
+      "                   when faults are active (default 2000)\n"
+      "  --hint-max-age-list LIST\n"
+      "                   comma list of watermarks; adds a sweep dimension\n"
+      "                   (points vary only the protocol parameter, so the\n"
+      "                   trace cache serves one generation per channel)\n"
+      "  --trace-cache on|off\n"
+      "                   memoize generated traces across sweep points\n"
+      "                   (default on; results are identical either way)\n",
       argv0);
   std::exit(code);
 }
@@ -123,6 +135,20 @@ Options parse(int argc, char** argv) {
       }
     } else if ((v = arg("--hint-max-age-ms")) != nullptr) {
       o.hint_max_age_ms = std::atof(v);
+    } else if ((v = arg("--hint-max-age-list")) != nullptr) {
+      o.hint_max_age_list.clear();
+      for (const auto& item : split_csv(v)) {
+        o.hint_max_age_list.push_back(std::atof(item.c_str()));
+      }
+      if (o.hint_max_age_list.empty()) usage(argv[0], 2);
+    } else if ((v = arg("--trace-cache")) != nullptr) {
+      if (std::strcmp(v, "on") == 0) {
+        o.trace_cache = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        o.trace_cache = false;
+      } else {
+        usage(argv[0], 2);
+      }
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       o.quiet = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -150,7 +176,16 @@ int main(int argc, char** argv) {
     channel::Environment env;
     bool mobile;
     int offset;
+    double hint_max_age_ms;
   };
+  // The age list is the innermost (fastest-varying) dimension: the L age
+  // variants of one channel cell are consecutive points, and the seeding
+  // below maps all of them onto the same trace seeds — a parameter-only
+  // sub-sweep the trace cache collapses to one generation per repetition.
+  const std::vector<double> ages = o.hint_max_age_list.empty()
+                                       ? std::vector<double>{o.hint_max_age_ms}
+                                       : o.hint_max_age_list;
+  const bool age_dimension = !o.hint_max_age_list.empty();
   std::vector<Cell> cells;
   std::vector<exp::SweepPoint> points;
   for (const auto& env_name : o.envs) {
@@ -159,19 +194,30 @@ int main(int argc, char** argv) {
       if (mob != "static" && mob != "mobile") usage(argv[0], 2);
       const bool mobile = mob == "mobile";
       for (int k = 0; k < o.offsets; ++k) {
-        exp::SweepPoint point;
-        point.label = env_name + "/" + mob + "/offset" + std::to_string(k);
-        point.params = {{"environment", env_name},
-                        {"mobility", mob},
-                        {"offset_db", exp::json_number(offset_db(k))}};
-        // Only non-default fault fields are emitted, so a fault-free sweep's
-        // JSON is byte-identical to builds that predate fault injection.
-        for (auto& kv : fault::fault_params(o.fault)) {
-          point.params.push_back(std::move(kv));
+        for (const double age_ms : ages) {
+          exp::SweepPoint point;
+          point.label = env_name + "/" + mob + "/offset" + std::to_string(k);
+          point.params = {{"environment", env_name},
+                          {"mobility", mob},
+                          {"offset_db", exp::json_number(offset_db(k))}};
+          // The age suffix and parameter appear only when the dimension was
+          // requested, so a default sweep's JSON is byte-identical to builds
+          // that predate --hint-max-age-list. Same pattern as faults below.
+          if (age_dimension) {
+            point.label += "/age" + std::to_string(static_cast<long long>(age_ms));
+            point.params.push_back(
+                {"hint_max_age_ms", exp::json_number(age_ms)});
+          }
+          // Only non-default fault fields are emitted, so a fault-free
+          // sweep's JSON is byte-identical to builds that predate fault
+          // injection.
+          for (auto& kv : fault::fault_params(o.fault)) {
+            point.params.push_back(std::move(kv));
+          }
+          point.repetitions = o.reps;
+          points.push_back(std::move(point));
+          cells.push_back(Cell{env, mobile, k, age_ms});
         }
-        point.repetitions = o.reps;
-        points.push_back(std::move(point));
-        cells.push_back(Cell{env, mobile, k});
       }
     }
   }
@@ -190,22 +236,37 @@ int main(int argc, char** argv) {
         } else {
           cfg.scenario = sim::MobilityScenario::all_walking(duration);
         }
-        cfg.seed = ctx.seed;  // engine-derived: (base_seed, run_index)
+        // Trace seeds are a function of the *channel cell*, not the point:
+        // all age variants of a cell replay the same run-index sequence, so
+        // their trace configs are identical and the cache serves them from
+        // one generation. With no age dimension (L = 1) this reduces to
+        // exactly ctx.seed / ctx.fault_seed — byte-identical legacy output.
+        const std::uint64_t trace_run_index =
+            (ctx.point_index / ages.size()) *
+                static_cast<std::uint64_t>(o.reps) +
+            static_cast<std::uint64_t>(ctx.repetition);
+        cfg.seed = util::Rng::derive_seed(o.base_seed, trace_run_index);
         cfg.snr_offset_db = offset_db(cell.offset);
-        const auto trace = channel::generate_trace(cfg);
+        const auto trace_ptr =
+            o.trace_cache ? channel::generate_trace_cached(cfg)
+                          : std::make_shared<const channel::PacketFateTrace>(
+                                channel::generate_trace(cfg));
+        const channel::PacketFateTrace& trace = *trace_ptr;
         rate::RunConfig run;
         run.workload = rate::Workload::kTcp;
         // A null fault config must take the exact pre-fault code path so the
         // JSON stays byte-identical; the faulty path routes the hint-aware
-        // protocol through a MovementFeed seeded from ctx.fault_seed.
+        // protocol through a MovementFeed seeded from the fault seed.
+        const std::uint64_t fault_seed =
+            util::Rng::derive_seed(cfg.seed, exp::kFaultSeedStream);
         auto sample =
             o.fault.is_null()
                 ? bench::protocol_metrics(trace, run)
                 : bench::protocol_metrics(
                       trace, run,
                       bench::faulty_truth_query(
-                          trace, o.fault, ctx.fault_seed,
-                          seconds(o.hint_max_age_ms / 1000.0)));
+                          trace, o.fault, fault_seed,
+                          seconds(cell.hint_max_age_ms / 1000.0)));
         sample.set("delivery_6m", trace.delivery_ratio(mac::slowest_rate()));
         return sample;
       });
@@ -234,5 +295,14 @@ int main(int argc, char** argv) {
                o.name.c_str(), static_cast<unsigned long long>(result.points.size()),
                static_cast<unsigned long long>(result.total_runs),
                runner.thread_count(), result.wall_seconds);
+  if (o.trace_cache) {
+    // stderr only: cache effectiveness is host/scheduling-dependent and must
+    // never leak into the byte-compared JSON or the stdout table.
+    const auto cs = channel::global_trace_cache().stats();
+    std::fprintf(stderr, "[trace cache: %llu hits, %llu misses, %llu evictions]\n",
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 static_cast<unsigned long long>(cs.evictions));
+  }
   return 0;
 }
