@@ -1,0 +1,97 @@
+#include "exp/supervisor.h"
+
+#include <chrono>
+
+#include "fault/fault_plan.h"
+
+namespace sh::exp {
+
+const char* run_status_name(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kRetried: return "retried";
+    case RunStatus::kTimedOut: return "timed_out";
+    case RunStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+bool SupervisorConfig::enabled() const noexcept {
+  return max_attempts > 1 || sim_budget_s > 0.0 || watchdog_ms > 0.0 ||
+         (plan != nullptr && !plan->config().exec_null());
+}
+
+RunRecord PointSupervisor::run_point(const SweepPoint& point,
+                                     const RunContext& ctx,
+                                     const RunFn& fn) const {
+  RunRecord rec;
+  rec.run_index = ctx.run_index;
+  if (!config_.enabled()) {
+    rec.sample = fn(point, ctx);
+    return rec;
+  }
+
+  const int max_attempts = config_.max_attempts < 1 ? 1 : config_.max_attempts;
+  bool last_was_timeout = false;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    rec.attempts = attempt + 1;
+    // Injected decisions first: they model the worker dying or wedging
+    // before useful output exists, and they are pure functions of
+    // (plan seed, run_index, attempt) so the status column is
+    // byte-identical at any thread count.
+    if (config_.plan != nullptr &&
+        config_.plan->run_crashes(ctx.run_index, attempt)) {
+      last_was_timeout = false;
+      continue;
+    }
+    if (config_.plan != nullptr &&
+        config_.plan->run_times_out(ctx.run_index, attempt)) {
+      last_was_timeout = true;
+      continue;
+    }
+
+    WorkMeter meter(config_.sim_budget_s);
+    RunContext attempt_ctx = ctx;
+    if (config_.sim_budget_s > 0.0) attempt_ctx.meter = &meter;
+
+    // Wall-clock feeds only the watchdog verdict, never metrics or seeds;
+    // a tripped watchdog is a real wedge, where output divergence is the
+    // correct behavior. shlint:allow(D1)
+    const auto t0 = std::chrono::steady_clock::now();
+    MetricSample sample;
+    bool crashed = false;
+    try {
+      sample = fn(point, attempt_ctx);
+    } catch (...) {
+      crashed = true;
+    }
+    const auto t1 = std::chrono::steady_clock::now();  // shlint:allow(D1)
+
+    if (crashed) {
+      last_was_timeout = false;
+      continue;
+    }
+    if (meter.exceeded()) {
+      last_was_timeout = true;
+      continue;
+    }
+    if (config_.watchdog_ms > 0.0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (elapsed_ms > config_.watchdog_ms) {
+        last_was_timeout = true;
+        continue;
+      }
+    }
+
+    rec.sample = std::move(sample);
+    rec.status = attempt == 0 ? RunStatus::kOk : RunStatus::kRetried;
+    return rec;
+  }
+
+  rec.status = last_was_timeout ? RunStatus::kTimedOut : RunStatus::kFailed;
+  rec.sample = MetricSample{};
+  return rec;
+}
+
+}  // namespace sh::exp

@@ -1,0 +1,43 @@
+// Point supervisor: bounded retry, deterministic deadlines, structured
+// status for every sweep repetition.
+//
+// The supervisor wraps the engine's run function so that a crash (an
+// exception, or an injected fault::FaultPlan exec decision) or a blown
+// deadline costs one attempt instead of the whole sweep. State machine per
+// repetition, with `max_attempts` bounding the loop:
+//
+//   attempt ──success──────────────▶ ok          (first attempt)
+//      │                            retried      (a later attempt)
+//      ├─crash / injected crash──▶ retry ▶ ... ▶ failed     (attempts spent)
+//      └─deadline exceeded───────▶ retry ▶ ... ▶ timed_out  (attempts spent)
+//
+// Determinism: retries reuse the RunContext — same seeds — so a run that
+// succeeds on attempt k produces the exact sample it would have produced on
+// a clean first attempt, and replaying it from a checkpoint is sound. The
+// sim-budget deadline counts simulated work (WorkMeter), not wall time; the
+// wall-clock watchdog is a post-hoc backstop for genuinely wedged points
+// and is the one sanctioned nondeterminism here (inline shlint:allow(D1)).
+#pragma once
+
+#include "exp/sweep.h"
+
+namespace sh::exp {
+
+class PointSupervisor {
+ public:
+  explicit PointSupervisor(SupervisorConfig config) noexcept
+      : config_(config) {}
+
+  const SupervisorConfig& config() const noexcept { return config_; }
+
+  /// Executes one repetition under the configured policy and returns its
+  /// record (run_index filled from `ctx`). With supervision disabled this
+  /// is exactly `fn(point, ctx)` — exceptions propagate untouched.
+  RunRecord run_point(const SweepPoint& point, const RunContext& ctx,
+                      const RunFn& fn) const;
+
+ private:
+  SupervisorConfig config_;
+};
+
+}  // namespace sh::exp

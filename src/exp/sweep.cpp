@@ -4,10 +4,20 @@
 #include <ostream>
 #include <sstream>
 
+#include "exp/checkpoint.h"
 #include "exp/json.h"
+#include "exp/supervisor.h"
 #include "util/rng.h"
 
 namespace sh::exp {
+
+std::uint64_t total_run_count(const std::vector<SweepPoint>& points) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& p : points) {
+    total += static_cast<std::uint64_t>(p.repetitions < 1 ? 1 : p.repetitions);
+  }
+  return total;
+}
 
 const PointResult* SweepResult::find(std::string_view label) const noexcept {
   for (const auto& p : points) {
@@ -39,6 +49,17 @@ void SweepResult::write_json(std::ostream& os) const {
     for (const auto& [k, v] : pr.point.params) w.member(k, std::string_view(v));
     w.end_object();
     w.member("repetitions", static_cast<std::int64_t>(pr.point.repetitions));
+    // Supervision outcomes are emitted only when a supervisor was active,
+    // so unsupervised JSON stays byte-identical to pre-supervisor builds.
+    if (supervised) {
+      w.key("run_status");
+      w.begin_object();
+      w.member("ok", pr.statuses.ok);
+      w.member("retried", pr.statuses.retried);
+      w.member("timed_out", pr.statuses.timed_out);
+      w.member("failed", pr.statuses.failed);
+      w.end_object();
+    }
     w.key("metrics");
     w.begin_object();
     for (const auto& [metric, s] : pr.metrics.summaries()) {
@@ -70,6 +91,11 @@ SweepRunner::SweepRunner(SweepConfig config)
     : config_(std::move(config)), pool_(config_.threads) {}
 
 SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
+  return run(std::move(points), fn, RunOptions{});
+}
+
+SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn,
+                             const RunOptions& opts) {
   // Global run index = prefix sum of repetitions; the seed of run i depends
   // only on (base_seed, i), never on scheduling.
   std::vector<std::uint64_t> first_run(points.size(), 0);
@@ -81,10 +107,27 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
   }
 
   std::vector<MetricSample> samples(total);
+  std::vector<RunStatus> statuses(total, RunStatus::kOk);
+  // Replayed runs take their sample and status verbatim from the journal —
+  // the run function never executes for them, which is both the resume
+  // speedup and the reason resumed output is byte-identical (metric values
+  // round-trip the journal as raw IEEE-754 bits).
+  std::vector<char> replayed(total, 0);
+  if (opts.resume != nullptr) {
+    for (const auto& rec : *opts.resume) {
+      if (rec.run_index >= total) continue;
+      samples[rec.run_index] = rec.sample;
+      statuses[rec.run_index] = rec.status;
+      replayed[rec.run_index] = 1;
+    }
+  }
+
+  const PointSupervisor supervisor(opts.supervisor);
   // Wall-clock timing feeds only the stderr progress summary
   // (wall_seconds); it never reaches metrics or JSON. shlint:allow(D1)
   const auto t0 = std::chrono::steady_clock::now();
   pool_.parallel_for(total, [&](std::size_t i) {
+    if (replayed[i] != 0) return;
     // Locate the point owning run i (points are few; linear scan is cheap
     // relative to one repetition).
     std::size_t p = points.size() - 1;
@@ -95,7 +138,12 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
     ctx.run_index = i;
     ctx.seed = util::Rng::derive_seed(config_.base_seed, i);
     ctx.fault_seed = util::Rng::derive_seed(ctx.seed, kFaultSeedStream);
-    samples[i] = fn(points[p], ctx);
+    RunRecord rec = supervisor.run_point(points[p], ctx, fn);
+    samples[i] = rec.sample;
+    statuses[i] = rec.status;
+    // Journal the completed repetition before moving on: once the append
+    // returns, this run survives any later kill.
+    if (opts.journal != nullptr) opts.journal->append(rec);
   });
   const auto t1 = std::chrono::steady_clock::now();  // shlint:allow(D1)
 
@@ -103,6 +151,7 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
   result.name = config_.name;
   result.base_seed = config_.base_seed;
   result.total_runs = total;
+  result.supervised = opts.supervisor.enabled();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.points.reserve(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
@@ -110,7 +159,14 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn) {
     pr.point = std::move(points[p]);
     const auto reps = static_cast<std::uint64_t>(pr.point.repetitions);
     for (std::uint64_t r = 0; r < reps; ++r) {
-      pr.metrics.add(samples[first_run[p] + r]);
+      const std::uint64_t i = first_run[p] + r;
+      pr.metrics.add(samples[i]);
+      switch (statuses[i]) {
+        case RunStatus::kOk: ++pr.statuses.ok; break;
+        case RunStatus::kRetried: ++pr.statuses.retried; break;
+        case RunStatus::kTimedOut: ++pr.statuses.timed_out; break;
+        case RunStatus::kFailed: ++pr.statuses.failed; break;
+      }
     }
     result.points.push_back(std::move(pr));
   }

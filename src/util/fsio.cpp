@@ -1,0 +1,44 @@
+#include "util/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace sh::util {
+
+bool sync_fd(int fd) { return ::fsync(fd) == 0; }
+
+bool atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* p = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (!sync_fd(fd)) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sh::util

@@ -1,0 +1,79 @@
+// Shared checked argument parsing for the sh* CLIs.
+//
+// Both shsweep and shbench route every numeric flag and every unknown
+// argument through these helpers so the two tools fail identically: exit
+// code 2 and a single-line diagnostic on stderr naming the offending flag
+// and value (not a usage wall the user has to diff against their command
+// line). Values are validated strictly — trailing junk, empty strings, and
+// out-of-range numbers are errors, not silently-zero atoi results.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sh::cli {
+
+/// One-line diagnostic + exit 2 (the "bad invocation" code both tools
+/// document for --check and argument errors alike).
+[[noreturn]] inline void fail(const char* tool, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", tool, message.c_str());
+  std::exit(2);
+}
+
+[[noreturn]] inline void unknown_option(const char* tool, const char* arg) {
+  fail(tool, std::string("unknown option '") + arg + "' (try --help)");
+}
+
+inline long long parse_int(const char* tool, const char* flag,
+                           const char* text, long long lo, long long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    fail(tool, std::string(flag) + ": invalid integer '" + text + "'");
+  }
+  if (errno == ERANGE || v < lo || v > hi) {
+    fail(tool, std::string(flag) + ": value '" + text + "' out of range [" +
+                   std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+inline unsigned long long parse_u64(const char* tool, const char* flag,
+                                    const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  if (text[0] == '-') {
+    fail(tool, std::string(flag) + ": invalid unsigned integer '" + text + "'");
+  }
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    fail(tool, std::string(flag) + ": invalid unsigned integer '" + text + "'");
+  }
+  if (errno == ERANGE) {
+    fail(tool, std::string(flag) + ": value '" + text + "' out of range");
+  }
+  return v;
+}
+
+inline double parse_double(const char* tool, const char* flag,
+                           const char* text, double lo, double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    fail(tool, std::string(flag) + ": invalid number '" + text + "'");
+  }
+  if (errno == ERANGE || !(v >= lo && v <= hi)) {  // !(…) also rejects NaN
+    char msg[160];
+    std::snprintf(msg, sizeof msg, "%s: value '%s' out of range [%g, %g]",
+                  flag, text, lo, hi);
+    fail(tool, msg);
+  }
+  return v;
+}
+
+}  // namespace sh::cli

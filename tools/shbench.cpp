@@ -31,12 +31,16 @@
 #include <vector>
 
 #include "channel/trace_cache.h"
+#include "cli.h"
 #include "exp/json.h"
 #include "experiment_config.h"
+#include "util/fsio.h"
 
 using namespace sh;
 
 namespace {
+
+constexpr const char* kTool = "shbench";
 
 struct Options {
   int reps = 5;
@@ -72,20 +76,24 @@ Options parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const auto arg = [&](const char* flag) {
       if (std::strcmp(argv[i], flag) != 0) return static_cast<const char*>(nullptr);
-      if (i + 1 >= argc) usage(argv[0], 2);
+      if (i + 1 >= argc) {
+        cli::fail(kTool, std::string(flag) + ": missing value");
+      }
       return static_cast<const char*>(argv[++i]);
     };
     const char* v = nullptr;
     if ((v = arg("--reps")) != nullptr) {
-      o.reps = std::atoi(v);
+      o.reps = static_cast<int>(cli::parse_int(kTool, "--reps", v, 1, 1000000));
     } else if ((v = arg("--warmup")) != nullptr) {
-      o.warmup = std::atoi(v);
+      o.warmup = static_cast<int>(cli::parse_int(kTool, "--warmup", v, 0, 1000000));
     } else if ((v = arg("--filter")) != nullptr) {
       o.filter = v;
     } else if ((v = arg("--out")) != nullptr) {
       o.out_path = v;
     } else if (std::strcmp(argv[i], "--check") == 0) {
-      if (i + 2 >= argc) usage(argv[0], 2);
+      if (i + 2 >= argc) {
+        cli::fail(kTool, "--check: expected two arguments (BASE CUR)");
+      }
       o.check_baseline = argv[++i];
       o.check_current = argv[++i];
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -95,10 +103,9 @@ Options parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], 0);
     } else {
-      usage(argv[0], 2);
+      cli::unknown_option(kTool, argv[i]);
     }
   }
-  if (o.reps < 1 || o.warmup < 0) usage(argv[0], 2);
   return o;
 }
 
@@ -317,7 +324,8 @@ void write_results(std::ostream& os, const Options& o,
 }
 
 struct ParsedFile {
-  bool ok = false;
+  bool readable = false;  ///< The file opened at all.
+  bool ok = false;        ///< ... and contained at least one benchmark entry.
   std::string schema;
   bool smoke = false;
   std::map<std::string, NamedResult> entries;
@@ -330,6 +338,7 @@ ParsedFile parse_bench_file(const std::string& path) {
   ParsedFile out;
   std::ifstream is(path);
   if (!is) return out;
+  out.readable = true;
   const auto string_field = [](const std::string& line, const char* key,
                                std::string& value) {
     const std::string needle = std::string("\"") + key + "\": \"";
@@ -386,9 +395,26 @@ constexpr double kRegressionTolerance = 0.15;
 int run_check(const std::string& baseline_path, const std::string& current_path) {
   const ParsedFile base = parse_bench_file(baseline_path);
   const ParsedFile cur = parse_bench_file(current_path);
-  if (!base.ok || !cur.ok || base.schema != "sh.bench.v1" ||
-      cur.schema != "sh.bench.v1") {
-    std::fprintf(stderr, "shbench --check: unreadable or wrong-schema input\n");
+  // Name the file and the failure: "the baseline is gone" and "the baseline
+  // is not a bench result" are different operator errors, and a raw stream
+  // failure helps with neither.
+  const auto reject = [](const char* role, const std::string& path,
+                         const ParsedFile& f) {
+    if (!f.readable) {
+      std::fprintf(stderr, "shbench --check: cannot read %s file '%s'\n", role,
+                   path.c_str());
+      return true;
+    }
+    if (!f.ok || f.schema != "sh.bench.v1") {
+      std::fprintf(stderr,
+                   "shbench --check: %s file '%s' is not sh.bench.v1 output\n",
+                   role, path.c_str());
+      return true;
+    }
+    return false;
+  };
+  if (reject("baseline", baseline_path, base) ||
+      reject("current", current_path, cur)) {
     return 2;
   }
   if (base.smoke != cur.smoke) {
@@ -484,12 +510,14 @@ int main(int argc, char** argv) {
   }
 
   if (!o.out_path.empty()) {
-    std::ofstream os(o.out_path);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
+    // Atomic like every other result artifact: a kill mid-emit must not
+    // leave a torn sh.bench.v1 behind for --check to choke on.
+    std::ostringstream os;
+    write_results(os, o, results);
+    if (!util::atomic_write_file(o.out_path, os.str())) {
+      std::fprintf(stderr, "%s: cannot write %s\n", kTool, o.out_path.c_str());
       return 1;
     }
-    write_results(os, o, results);
   } else {
     std::ostringstream os;
     write_results(os, o, results);

@@ -9,23 +9,38 @@
 //   cmp a.json b.json
 //
 // is the end-to-end determinism check the test suite automates.
+//
+// Crash tolerance: --checkpoint journals every completed repetition into a
+// sh.ckpt.v1 file (CRC-framed, fsync'd appends), and --resume replays the
+// verified records instead of recomputing them — a killed run resumed at
+// any thread count produces JSON byte-identical to an uninterrupted one
+// (the kill-resume pin in tests/resume_test.cpp). --retries /
+// --sim-budget-s / --watchdog-ms put each repetition under the point
+// supervisor; exec_crash_rate / exec_timeout_rate fault keys inject
+// deterministic failures to exercise it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "channel/trace_cache.h"
+#include "cli.h"
+#include "exp/checkpoint.h"
 #include "exp/json.h"
+#include "exp/supervisor.h"
 #include "experiment_config.h"
 #include "fault/fault_config.h"
+#include "fault/fault_plan.h"
+#include "util/fsio.h"
 
 using namespace sh;
 
 namespace {
+
+constexpr const char* kTool = "shsweep";
 
 struct Options {
   int threads = 0;
@@ -44,6 +59,13 @@ struct Options {
   /// the single --hint-max-age-ms value with unchanged labels and seeding.
   std::vector<double> hint_max_age_list;
   bool trace_cache = true;
+  // Crash tolerance.
+  std::string checkpoint_path;
+  std::string resume_path;
+  int retries = 1;
+  double sim_budget_s = 0.0;
+  double watchdog_ms = 0.0;
+  std::uint64_t kill_after = 0;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -57,12 +79,12 @@ struct Options {
       "  --offsets K      placement offsets per (env, mobility) (default 8)\n"
       "  --envs LIST      comma list of office,hallway,outdoor,vehicular\n"
       "  --mobility LIST  comma list of static,mobile\n"
-      "  --out FILE       write sh.sweep.v1 JSON results\n"
+      "  --out FILE       write sh.sweep.v1 JSON results (atomic: tmp+rename)\n"
       "  --name NAME      sweep name recorded in the JSON\n"
       "  --quiet          no summary table on stdout\n"
       "  --fault KEY=VAL  set a fault field (repeatable); keys as in\n"
       "                   DESIGN.md, e.g. hint_drop_rate=0.5,\n"
-      "                   sensor_dropout_rate=1, hint_staleness_ms=3000\n"
+      "                   exec_crash_rate=0.3, hint_staleness_ms=3000\n"
       "  --hint-max-age-ms M\n"
       "                   staleness watermark for the hint-aware protocol\n"
       "                   when faults are active (default 2000)\n"
@@ -72,7 +94,22 @@ struct Options {
       "                   trace cache serves one generation per channel)\n"
       "  --trace-cache on|off\n"
       "                   memoize generated traces across sweep points\n"
-      "                   (default on; results are identical either way)\n",
+      "                   (default on; results are identical either way)\n"
+      "  --checkpoint FILE\n"
+      "                   journal each completed repetition to a sh.ckpt.v1\n"
+      "                   file; a killed run can be resumed from it\n"
+      "  --resume FILE    replay the verified records of FILE, re-run only\n"
+      "                   what is missing, and keep journaling to FILE;\n"
+      "                   requires the same sweep flags as the killed run\n"
+      "  --retries N      attempts per repetition under the supervisor\n"
+      "                   (default 1 = no retry; retries reuse the seed)\n"
+      "  --sim-budget-s T deterministic per-repetition deadline in simulated\n"
+      "                   seconds (0 = off)\n"
+      "  --watchdog-ms M  wall-clock backstop per repetition attempt\n"
+      "                   (0 = off; trips only on genuinely wedged points)\n"
+      "  --kill-after-records N\n"
+      "                   test hook: raise SIGKILL after N checkpoint\n"
+      "                   records are durable (the kill-resume harness)\n",
       argv0);
   std::exit(code);
 }
@@ -87,13 +124,13 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-channel::Environment env_from_name(const std::string& name, const char* argv0) {
+channel::Environment env_from_name(const std::string& name) {
   if (name == "office") return channel::Environment::kOffice;
   if (name == "hallway") return channel::Environment::kHallway;
   if (name == "outdoor") return channel::Environment::kOutdoor;
   if (name == "vehicular") return channel::Environment::kVehicular;
-  std::fprintf(stderr, "unknown environment '%s'\n", name.c_str());
-  usage(argv0, 2);
+  cli::fail(kTool, "--envs: unknown environment '" + name +
+                       "' (expected office, hallway, outdoor, vehicular)");
 }
 
 Options parse(int argc, char** argv) {
@@ -101,71 +138,116 @@ Options parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const auto arg = [&](const char* flag) {
       if (std::strcmp(argv[i], flag) != 0) return static_cast<const char*>(nullptr);
-      if (i + 1 >= argc) usage(argv[0], 2);
+      if (i + 1 >= argc) {
+        cli::fail(kTool, std::string(flag) + ": missing value");
+      }
       return static_cast<const char*>(argv[++i]);
     };
     // One `v` for the whole chain: a fresh declaration per `else if` arm
     // would shadow the previous one now that -Wshadow is an error.
     const char* v = nullptr;
     if ((v = arg("--threads")) != nullptr) {
-      o.threads = std::atoi(v);
+      o.threads = static_cast<int>(cli::parse_int(kTool, "--threads", v, 0, 4096));
     } else if ((v = arg("--base-seed")) != nullptr) {
-      o.base_seed = std::strtoull(v, nullptr, 10);
+      o.base_seed = cli::parse_u64(kTool, "--base-seed", v);
     } else if ((v = arg("--reps")) != nullptr) {
-      o.reps = std::atoi(v);
+      o.reps = static_cast<int>(cli::parse_int(kTool, "--reps", v, 1, 1000000));
     } else if ((v = arg("--duration-s")) != nullptr) {
-      o.duration_s = std::atof(v);
+      o.duration_s = cli::parse_double(kTool, "--duration-s", v, 1e-3, 1e5);
     } else if ((v = arg("--offsets")) != nullptr) {
-      o.offsets = std::atoi(v);
+      o.offsets = static_cast<int>(cli::parse_int(kTool, "--offsets", v, 1, 1000000));
     } else if ((v = arg("--envs")) != nullptr) {
       o.envs = split_csv(v);
+      if (o.envs.empty()) {
+        cli::fail(kTool, std::string("--envs: expected a non-empty comma list, got '") + v + "'");
+      }
     } else if ((v = arg("--mobility")) != nullptr) {
       o.mobility = split_csv(v);
+      if (o.mobility.empty()) {
+        cli::fail(kTool, std::string("--mobility: expected a non-empty comma list, got '") + v + "'");
+      }
+      for (const auto& mob : o.mobility) {
+        if (mob != "static" && mob != "mobile") {
+          cli::fail(kTool, "--mobility: unknown mode '" + mob +
+                               "' (expected static, mobile)");
+        }
+      }
     } else if ((v = arg("--out")) != nullptr) {
       o.out_path = v;
     } else if ((v = arg("--name")) != nullptr) {
       o.name = v;
     } else if ((v = arg("--fault")) != nullptr) {
       const char* eq = std::strchr(v, '=');
-      if (eq == nullptr ||
-          !fault::set_fault_field(o.fault, std::string(v, eq),
-                                  std::atof(eq + 1))) {
-        std::fprintf(stderr, "bad --fault setting '%s'\n", v);
-        usage(argv[0], 2);
+      if (eq == nullptr || eq == v) {
+        cli::fail(kTool, std::string("--fault: expected KEY=VAL, got '") + v + "'");
+      }
+      const std::string key(v, eq);
+      const double val =
+          cli::parse_double(kTool, "--fault", eq + 1, -1e12, 1e12);
+      if (!fault::set_fault_field(o.fault, key, val)) {
+        cli::fail(kTool, "--fault: unknown key '" + key +
+                             "' (see DESIGN.md \"Fault model\")");
       }
     } else if ((v = arg("--hint-max-age-ms")) != nullptr) {
-      o.hint_max_age_ms = std::atof(v);
+      o.hint_max_age_ms = cli::parse_double(kTool, "--hint-max-age-ms", v, 0.0, 1e9);
     } else if ((v = arg("--hint-max-age-list")) != nullptr) {
       o.hint_max_age_list.clear();
       for (const auto& item : split_csv(v)) {
-        o.hint_max_age_list.push_back(std::atof(item.c_str()));
+        o.hint_max_age_list.push_back(cli::parse_double(
+            kTool, "--hint-max-age-list", item.c_str(), 0.0, 1e9));
       }
-      if (o.hint_max_age_list.empty()) usage(argv[0], 2);
+      if (o.hint_max_age_list.empty()) {
+        cli::fail(kTool, std::string("--hint-max-age-list: expected a non-empty comma list, got '") + v + "'");
+      }
     } else if ((v = arg("--trace-cache")) != nullptr) {
       if (std::strcmp(v, "on") == 0) {
         o.trace_cache = true;
       } else if (std::strcmp(v, "off") == 0) {
         o.trace_cache = false;
       } else {
-        usage(argv[0], 2);
+        cli::fail(kTool, std::string("--trace-cache: expected 'on' or 'off', got '") + v + "'");
+      }
+    } else if ((v = arg("--checkpoint")) != nullptr) {
+      o.checkpoint_path = v;
+    } else if ((v = arg("--resume")) != nullptr) {
+      o.resume_path = v;
+    } else if ((v = arg("--retries")) != nullptr) {
+      o.retries = static_cast<int>(cli::parse_int(kTool, "--retries", v, 1, 100));
+    } else if ((v = arg("--sim-budget-s")) != nullptr) {
+      o.sim_budget_s = cli::parse_double(kTool, "--sim-budget-s", v, 0.0, 1e9);
+    } else if ((v = arg("--watchdog-ms")) != nullptr) {
+      o.watchdog_ms = cli::parse_double(kTool, "--watchdog-ms", v, 0.0, 1e9);
+    } else if ((v = arg("--kill-after-records")) != nullptr) {
+      o.kill_after = cli::parse_u64(kTool, "--kill-after-records", v);
+      if (o.kill_after == 0) {
+        cli::fail(kTool, "--kill-after-records: value must be >= 1");
       }
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       o.quiet = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], 0);
     } else {
-      usage(argv[0], 2);
+      cli::unknown_option(kTool, argv[i]);
     }
   }
-  if (o.reps < 1 || o.offsets < 1 || o.duration_s <= 0 || o.envs.empty() ||
-      o.mobility.empty()) {
-    usage(argv[0], 2);
+  if (!o.resume_path.empty() && !o.checkpoint_path.empty() &&
+      o.resume_path != o.checkpoint_path) {
+    cli::fail(kTool,
+              "--resume already journals to the resumed file; drop "
+              "--checkpoint or point it at the same path");
   }
   return o;
 }
 
 /// Offsets cycle through the same -2..+2 dB placement grid the benches use.
 double offset_db(int k) { return static_cast<double>(k % 5) - 2.0; }
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
 
 }  // namespace
 
@@ -189,9 +271,8 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   std::vector<exp::SweepPoint> points;
   for (const auto& env_name : o.envs) {
-    const auto env = env_from_name(env_name, argv[0]);
+    const auto env = env_from_name(env_name);
     for (const auto& mob : o.mobility) {
-      if (mob != "static" && mob != "mobile") usage(argv[0], 2);
       const bool mobile = mob == "mobile";
       for (int k = 0; k < o.offsets; ++k) {
         for (const double age_ms : ages) {
@@ -222,10 +303,80 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The journal binds to everything that determines results: the grid
+  // (hashed from the points) plus the two knobs that shape runs without
+  // appearing in point params. Threads and cache mode are excluded — they
+  // never change output, so a checkpoint may be resumed under either.
+  const std::uint64_t total = exp::total_run_count(points);
+  const std::uint64_t config_extra = util::Rng::derive_seed(
+      double_bits(o.duration_s), double_bits(o.hint_max_age_ms));
+  const std::uint64_t config_hash =
+      exp::sweep_config_hash(points, o.base_seed, config_extra);
+
+  exp::RunOptions ropts;
+  exp::CheckpointLoad load;
+  exp::CheckpointWriter journal;
+  if (!o.resume_path.empty()) {
+    load = exp::load_checkpoint(o.resume_path);
+    if (!load.ok) {
+      cli::fail(kTool, "--resume: " + o.resume_path + ": " + load.error);
+    }
+    if (load.header.config_hash != config_hash) {
+      cli::fail(kTool, "--resume: checkpoint '" + o.resume_path +
+                           "' was written by a different sweep configuration "
+                           "(config hash mismatch); rerun with the original "
+                           "flags or start a fresh --checkpoint");
+    }
+    if (load.truncated) {
+      std::fprintf(stderr,
+                   "[resume: dropped %llu corrupt tail byte(s); interrupted "
+                   "repetitions will re-run]\n",
+                   static_cast<unsigned long long>(load.dropped_bytes));
+    }
+    std::fprintf(stderr, "[resume: replaying %llu of %llu repetitions from %s]\n",
+                 static_cast<unsigned long long>(load.records.size()),
+                 static_cast<unsigned long long>(total), o.resume_path.c_str());
+    if (!journal.open_resumed(o.resume_path, load.valid_bytes)) {
+      std::fprintf(stderr, "%s: cannot reopen checkpoint '%s' for append\n",
+                   kTool, o.resume_path.c_str());
+      return 1;
+    }
+    ropts.resume = &load.records;
+    ropts.journal = &journal;
+  } else if (!o.checkpoint_path.empty()) {
+    exp::CheckpointHeader header;
+    header.config_hash = config_hash;
+    header.base_seed = o.base_seed;
+    header.total_runs = total;
+    if (!journal.create(o.checkpoint_path, header)) {
+      std::fprintf(stderr, "%s: cannot create checkpoint '%s'\n", kTool,
+                   o.checkpoint_path.c_str());
+      return 1;
+    }
+    ropts.journal = &journal;
+  }
+  if (journal.is_open() && o.kill_after > 0) {
+    journal.set_kill_after(o.kill_after);
+  }
+
+  ropts.supervisor.max_attempts = o.retries;
+  ropts.supervisor.sim_budget_s = o.sim_budget_s;
+  ropts.supervisor.watchdog_ms = o.watchdog_ms;
+  // Exec-fault decisions are keyed by (base seed, run index, attempt), so
+  // crash/timeout schedules are byte-identical at any thread count and
+  // across a kill/resume boundary.
+  const fault::FaultPlan exec_plan(
+      o.fault, util::Rng::derive_seed(o.base_seed, exp::kFaultSeedStream));
+  if (!o.fault.exec_null()) ropts.supervisor.plan = &exec_plan;
+
   const Duration duration = seconds(o.duration_s);
   exp::SweepRunner runner({o.name, o.base_seed, o.threads});
   const auto result = runner.run(
-      points, [&](const exp::SweepPoint&, const exp::RunContext& ctx) {
+      points,
+      [&](const exp::SweepPoint&, const exp::RunContext& ctx) {
+        // Under a supervisor deadline, one repetition costs its simulated
+        // trace length — the deterministic currency of --sim-budget-s.
+        if (ctx.meter != nullptr) ctx.meter->charge(o.duration_s);
         const Cell& cell = cells[ctx.point_index];
         channel::TraceGeneratorConfig cfg;
         cfg.env = cell.env;
@@ -254,13 +405,14 @@ int main(int argc, char** argv) {
         const channel::PacketFateTrace& trace = *trace_ptr;
         rate::RunConfig run;
         run.workload = rate::Workload::kTcp;
-        // A null fault config must take the exact pre-fault code path so the
-        // JSON stays byte-identical; the faulty path routes the hint-aware
-        // protocol through a MovementFeed seeded from the fault seed.
+        // A null sensor/hint fault config must take the exact pre-fault code
+        // path so the JSON stays byte-identical; the faulty path routes the
+        // hint-aware protocol through a MovementFeed seeded from the fault
+        // seed. Exec faults are supervisor-level and don't touch this gate.
         const std::uint64_t fault_seed =
             util::Rng::derive_seed(cfg.seed, exp::kFaultSeedStream);
         auto sample =
-            o.fault.is_null()
+            (o.fault.sensor_null() && o.fault.hint_null())
                 ? bench::protocol_metrics(trace, run)
                 : bench::protocol_metrics(
                       trace, run,
@@ -269,7 +421,8 @@ int main(int argc, char** argv) {
                           seconds(cell.hint_max_age_ms / 1000.0)));
         sample.set("delivery_6m", trace.delivery_ratio(mac::slowest_rate()));
         return sample;
-      });
+      },
+      ropts);
 
   if (!o.quiet) {
     util::Table table({"point", "hint Mbps", "rapid Mbps", "sample Mbps",
@@ -284,12 +437,10 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   if (!o.out_path.empty()) {
-    std::ofstream os(o.out_path);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", o.out_path.c_str());
+    if (!util::atomic_write_file(o.out_path, result.to_json())) {
+      std::fprintf(stderr, "%s: cannot write %s\n", kTool, o.out_path.c_str());
       return 1;
     }
-    result.write_json(os);
   }
   std::fprintf(stderr, "[%s: %llu points, %llu runs, %d threads, %.2fs]\n",
                o.name.c_str(), static_cast<unsigned long long>(result.points.size()),
@@ -303,6 +454,28 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cs.hits),
                  static_cast<unsigned long long>(cs.misses),
                  static_cast<unsigned long long>(cs.evictions));
+  }
+  if (result.supervised) {
+    exp::StatusCounts totals;
+    for (const auto& pr : result.points) {
+      totals.ok += pr.statuses.ok;
+      totals.retried += pr.statuses.retried;
+      totals.timed_out += pr.statuses.timed_out;
+      totals.failed += pr.statuses.failed;
+    }
+    std::fprintf(stderr,
+                 "[supervisor: %llu ok, %llu retried, %llu timed out, %llu failed]\n",
+                 static_cast<unsigned long long>(totals.ok),
+                 static_cast<unsigned long long>(totals.retried),
+                 static_cast<unsigned long long>(totals.timed_out),
+                 static_cast<unsigned long long>(totals.failed));
+  }
+  if (journal.is_open()) {
+    std::fprintf(stderr, "[checkpoint: %llu record(s) appended%s]\n",
+                 static_cast<unsigned long long>(journal.records_appended()),
+                 journal.write_failed()
+                     ? "; WRITE FAILED — journal is incomplete"
+                     : "");
   }
   return 0;
 }
