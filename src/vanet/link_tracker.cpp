@@ -1,57 +1,76 @@
 #include "vanet/link_tracker.h"
 
-#include <map>
-#include <utility>
-
 #include "core/hints.h"
-#include "util/rng.h"
 
 namespace sh::vanet {
 
-std::vector<LinkRecord> extract_links(const TrajectoryLog& log,
-                                      double range_m, double heading_noise_deg,
-                                      std::uint64_t noise_seed) {
-  util::Rng noise_rng(noise_seed);
-  std::vector<LinkRecord> completed;
-  // Active links keyed by the (a < b) vehicle pair.
-  std::map<std::pair<int, int>, LinkRecord> active;
+LinkTracker::LinkTracker(Params params, exp::ThreadPool* pool)
+    : params_(params),
+      pool_(pool),
+      noise_rng_(params.noise_seed),
+      hash_(params.range_m) {}
 
-  const int n = log.num_vehicles();
-  for (std::size_t step = 0; step < log.num_steps(); ++step) {
-    const Time now = static_cast<Time>(step) * log.step();
-    const auto& snap = log.snapshot(step);
-    for (int a = 0; a < n; ++a) {
-      for (int b = a + 1; b < n; ++b) {
-        const bool connected =
-            distance(snap[static_cast<std::size_t>(a)].position,
-                     snap[static_cast<std::size_t>(b)].position) <= range_m;
-        const auto key = std::make_pair(a, b);
-        const auto it = active.find(key);
-        if (connected) {
-          if (it == active.end()) {
-            LinkRecord rec;
-            rec.vehicle_a = a;
-            rec.vehicle_b = b;
-            rec.start = now;
-            rec.end = now;
-            rec.heading_diff_start_deg = core::heading_difference(
-                snap[static_cast<std::size_t>(a)].heading_deg +
-                    noise_rng.normal(0.0, heading_noise_deg),
-                snap[static_cast<std::size_t>(b)].heading_deg +
-                    noise_rng.normal(0.0, heading_noise_deg));
-            active.emplace(key, rec);
-          } else {
-            it->second.end = now;
-          }
-        } else if (it != active.end()) {
-          completed.push_back(it->second);
-          active.erase(it);
-        }
-      }
+void LinkTracker::observe(Time now, const std::vector<VehicleState>& snapshot) {
+  hash_.build(snapshot);
+  const auto connected = hash_.pairs_within(snapshot, params_.range_m, pool_);
+
+  // Merge the (a, b)-sorted connected set against the (a, b)-sorted active
+  // map. Walking both in id order makes every downstream effect — closing
+  // records, birth-noise RNG draws, the event stream — a function of the
+  // pair ids alone, never of scan discovery order.
+  auto it = active_.begin();
+  const auto close_link = [&](decltype(it)& link_it) {
+    completed_.push_back(link_it->second);
+    if (params_.record_events) {
+      events_.push_back(LinkEvent{now, false, link_it->second.vehicle_a,
+                                  link_it->second.vehicle_b, 0.0});
     }
+    link_it = active_.erase(link_it);
+  };
+  for (const auto& pair : connected) {
+    while (it != active_.end() && it->first < pair) close_link(it);
+    if (it != active_.end() && it->first == pair) {
+      it->second.end = now;
+      ++it;
+      continue;
+    }
+    LinkRecord rec;
+    rec.vehicle_a = pair.first;
+    rec.vehicle_b = pair.second;
+    rec.start = now;
+    rec.end = now;
+    rec.heading_diff_start_deg = core::heading_difference(
+        snapshot[static_cast<std::size_t>(pair.first)].heading_deg +
+            noise_rng_.normal(0.0, params_.heading_noise_deg),
+        snapshot[static_cast<std::size_t>(pair.second)].heading_deg +
+            noise_rng_.normal(0.0, params_.heading_noise_deg));
+    it = active_.emplace_hint(it, pair, rec);
+    if (params_.record_events) {
+      events_.push_back(LinkEvent{now, true, pair.first, pair.second,
+                                  rec.heading_diff_start_deg});
+    }
+    ++it;
   }
-  for (auto& [key, rec] : active) completed.push_back(rec);
-  return completed;
+  while (it != active_.end()) close_link(it);
+}
+
+std::vector<LinkRecord> LinkTracker::finish() {
+  // Links still up close at their last observed timestamp, in id order
+  // (std::map iteration).
+  for (const auto& [key, rec] : active_) completed_.push_back(rec);
+  active_.clear();
+  return std::move(completed_);
+}
+
+std::vector<LinkRecord> extract_links(const TrajectoryLog& log, double range_m,
+                                      double heading_noise_deg,
+                                      std::uint64_t noise_seed) {
+  LinkTracker tracker(
+      LinkTracker::Params{range_m, heading_noise_deg, noise_seed, false});
+  for (std::size_t step = 0; step < log.num_steps(); ++step) {
+    tracker.observe(static_cast<Time>(step) * log.step(), log.snapshot(step));
+  }
+  return tracker.finish();
 }
 
 }  // namespace sh::vanet

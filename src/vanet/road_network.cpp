@@ -163,6 +163,89 @@ RoadNetwork RoadNetwork::chords_city(int num_roads, double size_m,
   return net;
 }
 
+RoadNetwork RoadNetwork::city_grid(int districts_cols, int districts_rows,
+                                   int blocks_per_district, double block_m,
+                                   std::uint64_t seed, double local_drop_frac,
+                                   double jitter_frac) {
+  assert(districts_cols >= 1 && districts_rows >= 1);
+  assert(blocks_per_district >= 2);
+  assert(block_m > 0.0);
+  assert(local_drop_frac >= 0.0 && local_drop_frac < 1.0);
+  assert(jitter_frac >= 0.0 && jitter_frac < 0.5);
+  const int cols = districts_cols * blocks_per_district + 1;
+  const int rows = districts_rows * blocks_per_district + 1;
+  RoadNetwork net;
+  net.spacing_m_ = block_m;
+  net.positions_.reserve(static_cast<std::size_t>(cols) *
+                         static_cast<std::size_t>(rows));
+  net.adjacency_.resize(static_cast<std::size_t>(cols) *
+                        static_cast<std::size_t>(rows));
+  util::Rng rng(seed);
+  const auto id = [cols](int c, int r) { return r * cols + c; };
+  const auto on_arterial = [blocks_per_district](int v) {
+    return v % blocks_per_district == 0;
+  };
+  const double jitter = jitter_frac * block_m;
+  // Row-major position pass: arterial intersections stay on the lattice so
+  // arterials run straight; pure-local intersections are displaced, giving
+  // local segments the orientation variety Table 5.1's intermediate
+  // heading-difference buckets need.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      Vec2 pos{c * block_m, r * block_m};
+      if (!on_arterial(c) && !on_arterial(r)) {
+        pos.x += rng.uniform(-jitter, jitter);
+        pos.y += rng.uniform(-jitter, jitter);
+      }
+      net.positions_.push_back(pos);
+    }
+  }
+  const auto connect = [&net](Intersection a, Intersection b) {
+    net.adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    net.adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  };
+  // Row-major edge pass (east edge then north edge per node — a fixed order,
+  // so the thinning draws are a pure function of the seed). An edge is
+  // arterial iff it runs along a district boundary line.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        const bool arterial = on_arterial(r);
+        if (arterial || !rng.bernoulli(local_drop_frac)) {
+          connect(id(c, r), id(c + 1, r));
+        }
+      }
+      if (r + 1 < rows) {
+        const bool arterial = on_arterial(c);
+        if (arterial || !rng.bernoulli(local_drop_frac)) {
+          connect(id(c, r), id(c, r + 1));
+        }
+      }
+    }
+  }
+  // Thinning can strand an interior node (every incident local street
+  // dropped); reconnect it eastward so no vehicle spawns parked forever.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (!net.adjacency_[static_cast<std::size_t>(id(c, r))].empty()) continue;
+      connect(id(c, r), c + 1 < cols ? id(c + 1, r) : id(c - 1, r));
+    }
+  }
+  return net;
+}
+
+RoadNetwork RoadNetwork::city_for_scale(int vehicles, std::uint64_t seed) {
+  assert(vehicles >= 1);
+  // ~9e4 m² per vehicle — the 100-vehicle / 3000 m chords_city density the
+  // Table 5-1 reproduction calibrated against.
+  const double side_m = std::sqrt(static_cast<double>(vehicles) * 9.0e4);
+  constexpr int kBlocksPerDistrict = 5;
+  constexpr double kBlockM = 150.0;
+  const int districts = std::max(
+      2, static_cast<int>(std::lround(side_m / (kBlocksPerDistrict * kBlockM))));
+  return city_grid(districts, districts, kBlocksPerDistrict, kBlockM, seed);
+}
+
 std::vector<RoadNetwork::Intersection> RoadNetwork::shortest_path(
     Intersection from, Intersection to) const {
   assert(from >= 0 && from < num_intersections());

@@ -8,23 +8,22 @@
 #include "core/hints.h"
 #include "util/stats.h"
 #include "vanet/cte.h"
+#include "vanet/spatial_hash.h"
 
 namespace sh::vanet {
 namespace {
 
 std::vector<std::vector<int>> proximity_graph(
     const std::vector<VehicleState>& snapshot, double range_m) {
-  const int n = static_cast<int>(snapshot.size());
-  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
-  for (int a = 0; a < n; ++a) {
-    for (int b = a + 1; b < n; ++b) {
-      if (distance(snapshot[static_cast<std::size_t>(a)].position,
-                   snapshot[static_cast<std::size_t>(b)].position) <=
-          range_m) {
-        adj[static_cast<std::size_t>(a)].push_back(b);
-        adj[static_cast<std::size_t>(b)].push_back(a);
-      }
-    }
+  std::vector<std::vector<int>> adj(snapshot.size());
+  SpatialHash hash(range_m);
+  hash.build(snapshot);
+  // pairs_within is (a, b)-sorted, which reproduces the adjacency order of
+  // the old O(n²) scan exactly: each node sees its smaller neighbors first
+  // (ascending), then its larger ones (ascending).
+  for (const auto& [a, b] : hash.pairs_within(snapshot, range_m)) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
   }
   return adj;
 }

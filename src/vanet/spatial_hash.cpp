@@ -1,0 +1,144 @@
+#include "vanet/spatial_hash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "exp/thread_pool.h"
+
+namespace sh::vanet {
+
+namespace {
+
+/// Vehicles per sharded-scan block. Fixed (never derived from the thread
+/// count) so the block decomposition — and therefore every block's locally
+/// sorted pair list — is identical no matter how many workers execute it.
+constexpr std::size_t kScanBlock = 2048;
+
+}  // namespace
+
+SpatialHash::SpatialHash(double cell_m) : cell_m_(cell_m) {
+  assert(cell_m > 0.0);
+}
+
+std::uint64_t SpatialHash::pack(std::int64_t ix, std::int64_t iy) noexcept {
+  // Bias into unsigned halves; cities are nowhere near 2^31 cells across.
+  constexpr std::int64_t kBias = std::int64_t{1} << 31;
+  return (static_cast<std::uint64_t>(iy + kBias) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(ix + kBias));
+}
+
+std::int64_t SpatialHash::cell_of(double v) const noexcept {
+  return static_cast<std::int64_t>(std::floor(v / cell_m_));
+}
+
+void SpatialHash::build(const std::vector<VehicleState>& snapshot) {
+  const std::size_t n = snapshot.size();
+  // (cell key, vehicle id), sorted: groups members by cell with ids
+  // ascending inside each cell — the order every query below leans on.
+  std::vector<std::pair<std::uint64_t, int>> keyed;
+  keyed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keyed.emplace_back(pack(cell_of(snapshot[i].position.x),
+                            cell_of(snapshot[i].position.y)),
+                       static_cast<int>(i));
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  cell_keys_.clear();
+  cell_begin_.clear();
+  members_.clear();
+  members_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 || keyed[i].first != keyed[i - 1].first) {
+      cell_keys_.push_back(keyed[i].first);
+      cell_begin_.push_back(members_.size());
+    }
+    members_.push_back(keyed[i].second);
+  }
+  cell_begin_.push_back(members_.size());
+}
+
+const std::vector<int>* SpatialHash::cell_members(
+    std::uint64_t key, std::size_t& begin, std::size_t& end) const noexcept {
+  const auto it = std::lower_bound(cell_keys_.begin(), cell_keys_.end(), key);
+  if (it == cell_keys_.end() || *it != key) return nullptr;
+  const auto c = static_cast<std::size_t>(it - cell_keys_.begin());
+  begin = cell_begin_[c];
+  end = cell_begin_[c + 1];
+  return &members_;
+}
+
+void SpatialHash::neighbors_of(const Vec2& position, double range_m, int self,
+                               const std::vector<VehicleState>& snapshot,
+                               std::vector<int>& out) const {
+  assert(range_m <= cell_m_);
+  out.clear();
+  const std::int64_t cx = cell_of(position.x);
+  const std::int64_t cy = cell_of(position.y);
+  for (std::int64_t dy = -1; dy <= 1; ++dy) {
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      std::size_t begin = 0, end = 0;
+      if (cell_members(pack(cx + dx, cy + dy), begin, end) == nullptr) continue;
+      for (std::size_t m = begin; m < end; ++m) {
+        const int b = members_[m];
+        if (b <= self) continue;
+        if (distance(position, snapshot[static_cast<std::size_t>(b)].position) <=
+            range_m) {
+          out.push_back(b);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<VehiclePair> SpatialHash::pairs_within(
+    const std::vector<VehicleState>& snapshot, double range_m,
+    exp::ThreadPool* pool) const {
+  assert(range_m <= cell_m_);
+  const std::size_t n = snapshot.size();
+  const std::size_t blocks = (n + kScanBlock - 1) / kScanBlock;
+
+  // One block scans ids [lo, hi) as the lesser endpoint of each pair, so a
+  // pair belongs to exactly one block; sorting a block's output makes the
+  // block-order concatenation globally (a, b)-sorted.
+  const auto scan_block = [&](std::size_t block, std::vector<VehiclePair>& out) {
+    const std::size_t lo = block * kScanBlock;
+    const std::size_t hi = std::min(n, lo + kScanBlock);
+    std::vector<int> near;
+    for (std::size_t a = lo; a < hi; ++a) {
+      neighbors_of(snapshot[a].position, range_m, static_cast<int>(a),
+                   snapshot, near);
+      for (const int b : near) out.emplace_back(static_cast<int>(a), b);
+    }
+    std::sort(out.begin(), out.end());
+  };
+
+  if (pool == nullptr || pool->thread_count() <= 1 || blocks <= 1) {
+    std::vector<VehiclePair> out;
+    for (std::size_t block = 0; block < blocks; ++block) {
+      std::vector<VehiclePair> part;
+      scan_block(block, part);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  std::vector<std::vector<VehiclePair>> parts(blocks);
+  pool->parallel_for(blocks, [&](std::size_t block) {
+    scan_block(block, parts[block]);
+  });
+  std::vector<VehiclePair> out;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  // Ordered reduction (D5 contract): blocks concatenate in block order, so
+  // the result is byte-identical to the serial scan at any thread count.
+  for (const auto& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace sh::vanet

@@ -1,9 +1,22 @@
 #include "vanet/traffic_sim.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "exp/thread_pool.h"
+
 namespace sh::vanet {
+
+namespace {
+
+/// Vehicles per sharded-step block. Fixed — never derived from the thread
+/// count — so the block decomposition is the same no matter how many
+/// workers execute it (not that it matters for state: vehicles are fully
+/// independent; the constant only sizes tasks).
+constexpr std::size_t kStepBlock = 2048;
+
+}  // namespace
 
 TrajectoryLog::TrajectoryLog(int num_vehicles, Duration step)
     : num_vehicles_(num_vehicles), step_(step) {
@@ -23,13 +36,15 @@ const VehicleState& TrajectoryLog::at(std::size_t step_index,
 
 TrafficSim::TrafficSim(const RoadNetwork& net, std::uint64_t seed,
                        Params params)
-    : net_(net), rng_(seed), params_(params) {
+    : net_(net), params_(params) {
   assert(params_.num_vehicles > 0);
   vehicles_.resize(static_cast<std::size_t>(params_.num_vehicles));
-  for (auto& v : vehicles_) {
-    v.cruise_speed = rng_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    auto& v = vehicles_[i];
+    v.rng.reseed(util::Rng::derive_seed(seed, i));
+    v.cruise_speed = v.rng.uniform(params_.min_speed_mps, params_.max_speed_mps);
     const auto start = static_cast<RoadNetwork::Intersection>(
-        rng_.uniform_int(0, net_.num_intersections() - 1));
+        v.rng.uniform_int(0, net_.num_intersections() - 1));
     v.position = net_.position(start);
     v.path = {start};
     v.next_waypoint = 1;  // Forces a fresh path on the first step.
@@ -38,12 +53,12 @@ TrafficSim::TrafficSim(const RoadNetwork& net, std::uint64_t seed,
 
 void TrafficSim::assign_new_path(Vehicle& v) {
   const auto from = v.path.empty()
-                        ? static_cast<RoadNetwork::Intersection>(rng_.uniform_int(
+                        ? static_cast<RoadNetwork::Intersection>(v.rng.uniform_int(
                               0, net_.num_intersections() - 1))
                         : v.path.back();
   for (int attempts = 0; attempts < 16; ++attempts) {
     const auto to = static_cast<RoadNetwork::Intersection>(
-        rng_.uniform_int(0, net_.num_intersections() - 1));
+        v.rng.uniform_int(0, net_.num_intersections() - 1));
     if (to == from) continue;
     auto path = net_.shortest_path(from, to);
     if (path.size() >= 2) {
@@ -68,8 +83,8 @@ void TrafficSim::follow_road_from(Vehicle& v,
   if (candidates.empty()) candidates.push_back(v.prev_node);
 
   RoadNetwork::Intersection chosen = candidates.front();
-  if (candidates.size() > 1 && rng_.bernoulli(params_.turn_probability)) {
-    chosen = candidates[static_cast<std::size_t>(rng_.uniform_int(
+  if (candidates.size() > 1 && v.rng.bernoulli(params_.turn_probability)) {
+    chosen = candidates[static_cast<std::size_t>(v.rng.uniform_int(
         0, static_cast<std::int64_t>(candidates.size()) - 1))];
   } else {
     // Stay on the road: pick the neighbor whose direction deviates least
@@ -114,26 +129,41 @@ void TrafficSim::advance(Vehicle& v, double dt_s) {
     remaining -= dist;
     ++v.next_waypoint;
     // Arrived at an intersection: maybe wait at a light.
-    if (rng_.bernoulli(params_.stop_probability)) {
-      v.stopped_for = rng_.uniform_int(params_.min_stop, params_.max_stop);
+    if (v.rng.bernoulli(params_.stop_probability)) {
+      v.stopped_for = v.rng.uniform_int(params_.min_stop, params_.max_stop);
       return;
     }
   }
 }
 
-void TrafficSim::step() {
+void TrafficSim::step_block(std::size_t lo, std::size_t hi) {
   constexpr double kDt = 1.0;  // 1 Hz simulation, like the paper's samples.
-  for (auto& v : vehicles_) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    auto& v = vehicles_[i];
     if (v.stopped_for > 0) {
       v.stopped_for -= kSecond;
       v.current_speed = 0.0;
       continue;
     }
     v.current_speed =
-        v.cruise_speed * (1.0 + rng_.normal(0.0, params_.speed_jitter));
+        v.cruise_speed * (1.0 + v.rng.normal(0.0, params_.speed_jitter));
     if (v.current_speed < 1.0) v.current_speed = 1.0;
     advance(v, kDt);
   }
+}
+
+void TrafficSim::step() { step_block(0, vehicles_.size()); }
+
+void TrafficSim::step(exp::ThreadPool& pool) {
+  const std::size_t n = vehicles_.size();
+  const std::size_t blocks = (n + kStepBlock - 1) / kStepBlock;
+  if (pool.thread_count() <= 1 || blocks <= 1) {
+    step();
+    return;
+  }
+  pool.parallel_for(blocks, [this, n](std::size_t block) {
+    step_block(block * kStepBlock, std::min(n, (block + 1) * kStepBlock));
+  });
 }
 
 std::vector<VehicleState> TrafficSim::snapshot() const {
@@ -151,6 +181,16 @@ TrajectoryLog TrafficSim::run(Duration total) {
   log.append(snapshot());
   for (Time t = 0; t < total; t += kSecond) {
     step();
+    log.append(snapshot());
+  }
+  return log;
+}
+
+TrajectoryLog TrafficSim::run(Duration total, exp::ThreadPool& pool) {
+  TrajectoryLog log(params_.num_vehicles, kSecond);
+  log.append(snapshot());
+  for (Time t = 0; t < total; t += kSecond) {
+    step(pool);
     log.append(snapshot());
   }
   return log;

@@ -7,6 +7,13 @@
 // evaluation consumed. The simulator records a 1 Hz trajectory log
 // (position, heading, speed per vehicle) which the link and route analyses
 // replay offline.
+//
+// Scale: every vehicle owns an independent RNG stream seeded with
+// derive_seed(base_seed, vehicle_id) and never reads another vehicle's
+// state, so a step can shard across exp::ThreadPool over fixed-size vehicle
+// blocks and stay byte-identical to the serial step at any thread count —
+// the deterministic-sharding pattern from the sweep engine (DESIGN.md
+// "Determinism contract") applied to mobility.
 #pragma once
 
 #include <vector>
@@ -14,6 +21,10 @@
 #include "sim/ids.h"
 #include "util/rng.h"
 #include "vanet/road_network.h"
+
+namespace sh::exp {
+class ThreadPool;
+}
 
 namespace sh::vanet {
 
@@ -77,14 +88,21 @@ class TrafficSim {
   /// Advances all vehicles by one 1-second step.
   void step();
 
+  /// Same step, sharded over `pool` in fixed-size vehicle blocks. Each
+  /// vehicle draws only from its own RNG stream and writes only its own
+  /// state, so the result is byte-identical to step() at any thread count.
+  void step(exp::ThreadPool& pool);
+
   /// Runs for `total` simulated time and returns the 1 Hz trajectory log
-  /// (including the initial state).
+  /// (including the initial state). With a pool, steps are sharded.
   TrajectoryLog run(Duration total);
+  TrajectoryLog run(Duration total, exp::ThreadPool& pool);
 
   std::vector<VehicleState> snapshot() const;
 
  private:
   struct Vehicle {
+    util::Rng rng;  ///< Private stream: derive_seed(base_seed, vehicle_id).
     std::vector<RoadNetwork::Intersection> path;  ///< Remaining waypoints.
     std::size_t next_waypoint = 0;
     RoadNetwork::Intersection prev_node = -1;  ///< kFollowRoad state.
@@ -99,9 +117,10 @@ class TrafficSim {
   /// kFollowRoad: appends the next waypoint after arriving at `node`.
   void follow_road_from(Vehicle& v, RoadNetwork::Intersection node);
   void advance(Vehicle& v, double dt_s);
+  /// Advances vehicles [lo, hi) — the unit both step() overloads share.
+  void step_block(std::size_t lo, std::size_t hi);
 
   const RoadNetwork& net_;
-  util::Rng rng_;
   Params params_;
   std::vector<Vehicle> vehicles_;
 };

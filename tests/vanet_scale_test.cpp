@@ -1,0 +1,500 @@
+// City-scale VANET test suite: the spatial-hash proximity index and the
+// sharded deterministic vehicle update.
+//
+// Three tiers, per the determinism contract (DESIGN.md "City-scale VANET"):
+//
+//  * differential — on randomized road graphs and vehicle counts small
+//    enough to brute-force, the spatial-hash link set must be EXACTLY the
+//    O(n²) reference link set at every step, and extract_links must equal a
+//    reference reimplementation of the original all-pairs tracker field for
+//    field (doubles compared with ==, not tolerance);
+//  * sharded determinism — 1/2/8-thread runs of the sharded update and the
+//    sharded link scan must produce byte-identical trajectories and
+//    link-event streams (positions compared bit-for-bit);
+//  * golden pins at scale — link-duration histograms and CTE route choices
+//    for fixed seeds at 100 and 1k vehicles, hashed, so a future refactor
+//    cannot silently shift Table 5-1. If a change is INTENTIONAL, update the
+//    hashes and say so in the commit message.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hints.h"
+#include "exp/thread_pool.h"
+#include "util/rng.h"
+#include "vanet/cte.h"
+#include "vanet/link_tracker.h"
+#include "vanet/road_network.h"
+#include "vanet/route_sim.h"
+#include "vanet/spatial_hash.h"
+#include "vanet/traffic_sim.h"
+
+namespace sh::vanet {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+// O(n²) references — deliberately independent of the production code path.
+
+std::vector<VehiclePair> brute_pairs(const std::vector<VehicleState>& snap,
+                                     double range_m) {
+  std::vector<VehiclePair> pairs;
+  const int n = static_cast<int>(snap.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (distance(snap[static_cast<std::size_t>(a)].position,
+                   snap[static_cast<std::size_t>(b)].position) <= range_m) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  return pairs;
+}
+
+/// The original all-pairs extract_links, kept verbatim as the differential
+/// reference (including its RNG draw order: birth noise drawn in (a, b)
+/// scan order within each step).
+std::vector<LinkRecord> brute_extract_links(const TrajectoryLog& log,
+                                            double range_m,
+                                            double heading_noise_deg,
+                                            std::uint64_t noise_seed) {
+  util::Rng noise_rng(noise_seed);
+  std::vector<LinkRecord> completed;
+  std::map<std::pair<int, int>, LinkRecord> active;
+  const int n = log.num_vehicles();
+  for (std::size_t step = 0; step < log.num_steps(); ++step) {
+    const Time now = static_cast<Time>(step) * log.step();
+    const auto& snap = log.snapshot(step);
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        const bool connected =
+            distance(snap[static_cast<std::size_t>(a)].position,
+                     snap[static_cast<std::size_t>(b)].position) <= range_m;
+        const auto key = std::make_pair(a, b);
+        const auto it = active.find(key);
+        if (connected) {
+          if (it == active.end()) {
+            LinkRecord rec;
+            rec.vehicle_a = a;
+            rec.vehicle_b = b;
+            rec.start = now;
+            rec.end = now;
+            rec.heading_diff_start_deg = core::heading_difference(
+                snap[static_cast<std::size_t>(a)].heading_deg +
+                    noise_rng.normal(0.0, heading_noise_deg),
+                snap[static_cast<std::size_t>(b)].heading_deg +
+                    noise_rng.normal(0.0, heading_noise_deg));
+            active.emplace(key, rec);
+          } else {
+            it->second.end = now;
+          }
+        } else if (it != active.end()) {
+          completed.push_back(it->second);
+          active.erase(it);
+        }
+      }
+    }
+  }
+  for (auto& [key, rec] : active) completed.push_back(rec);
+  return completed;
+}
+
+/// Randomized small road network: one of the four generators with seeded
+/// parameters — every family the differential sweep should cover.
+RoadNetwork random_network(util::Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return RoadNetwork::grid(static_cast<int>(rng.uniform_int(2, 6)),
+                               static_cast<int>(rng.uniform_int(2, 6)),
+                               rng.uniform(60.0, 250.0));
+    case 1:
+      return RoadNetwork::irregular_grid(
+          static_cast<int>(rng.uniform_int(3, 6)),
+          static_cast<int>(rng.uniform_int(3, 6)), rng.uniform(80.0, 220.0),
+          rng.uniform(0.05, 0.3), rng());
+    case 2:
+      return RoadNetwork::chords_city(static_cast<int>(rng.uniform_int(6, 14)),
+                                      rng.uniform(600.0, 1500.0), rng());
+    default:
+      return RoadNetwork::city_grid(static_cast<int>(rng.uniform_int(1, 3)),
+                                    static_cast<int>(rng.uniform_int(1, 3)),
+                                    static_cast<int>(rng.uniform_int(2, 4)),
+                                    rng.uniform(80.0, 200.0), rng());
+  }
+}
+
+TrafficSim::Params random_params(util::Rng& rng, int vehicles) {
+  TrafficSim::Params params;
+  params.num_vehicles = vehicles;
+  params.routing = rng.bernoulli(0.5) ? TrafficSim::Routing::kRandomTrips
+                                      : TrafficSim::Routing::kFollowRoad;
+  params.stop_probability = rng.uniform(0.0, 0.15);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Differential: spatial hash ≡ brute force, at every step.
+
+TEST(VanetDifferentialTest, HashPairSetEqualsBruteForceOnRandomGraphs) {
+  util::Rng meta(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto net = random_network(meta);
+    const int vehicles = static_cast<int>(meta.uniform_int(2, 64));
+    TrafficSim sim(net, meta(), random_params(meta, vehicles));
+    const double range_m = meta.uniform(40.0, 150.0);
+    SpatialHash hash(range_m);
+    for (int step = 0; step < 25; ++step) {
+      sim.step();
+      const auto snap = sim.snapshot();
+      hash.build(snap);
+      EXPECT_EQ(hash.pairs_within(snap, range_m), brute_pairs(snap, range_m))
+          << "trial " << trial << " step " << step << " range " << range_m;
+    }
+  }
+}
+
+TEST(VanetDifferentialTest, ShardedPairScanEqualsSerialScan) {
+  util::Rng meta(77);
+  exp::ThreadPool pool2(2);
+  exp::ThreadPool pool8(8);
+  for (int trial = 0; trial < 4; ++trial) {
+    // Enough vehicles to span several 2048-id scan blocks is what matters
+    // here; city_for_scale keeps the pair count sane at that size.
+    const auto net = RoadNetwork::city_for_scale(5000, meta());
+    TrafficSim sim(net, meta(), random_params(meta, 5000));
+    sim.step();
+    const auto snap = sim.snapshot();
+    SpatialHash hash(100.0);
+    hash.build(snap);
+    const auto serial = hash.pairs_within(snap, 100.0);
+    EXPECT_EQ(hash.pairs_within(snap, 100.0, &pool2), serial);
+    EXPECT_EQ(hash.pairs_within(snap, 100.0, &pool8), serial);
+  }
+}
+
+TEST(VanetDifferentialTest, ExtractLinksEqualsBruteForceReference) {
+  util::Rng meta(4096);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto net = random_network(meta);
+    const int vehicles = static_cast<int>(meta.uniform_int(2, 48));
+    TrafficSim sim(net, meta(), random_params(meta, vehicles));
+    const auto log = sim.run(40 * kSecond);
+    const double range_m = meta.uniform(50.0, 140.0);
+    const double noise = meta.bernoulli(0.5) ? 2.0 : 0.0;
+    const std::uint64_t noise_seed = meta();
+    const auto fast = extract_links(log, range_m, noise, noise_seed);
+    const auto ref = brute_extract_links(log, range_m, noise, noise_seed);
+    ASSERT_EQ(fast.size(), ref.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(fast[i].vehicle_a, ref[i].vehicle_a) << "link " << i;
+      EXPECT_EQ(fast[i].vehicle_b, ref[i].vehicle_b) << "link " << i;
+      EXPECT_EQ(fast[i].start, ref[i].start) << "link " << i;
+      EXPECT_EQ(fast[i].end, ref[i].end) << "link " << i;
+      // Bit-exact, not near: the noise RNG stream must align draw for draw.
+      EXPECT_EQ(double_bits(fast[i].heading_diff_start_deg),
+                double_bits(ref[i].heading_diff_start_deg))
+          << "link " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded determinism: 1/2/8 threads, byte-identical output.
+
+std::string serialized_trajectory(const TrajectoryLog& log) {
+  std::ostringstream os;
+  for (std::size_t step = 0; step < log.num_steps(); ++step) {
+    for (int v = 0; v < log.num_vehicles(); ++v) {
+      const auto& s = log.at(step, v);
+      os << double_bits(s.position.x) << ' ' << double_bits(s.position.y)
+         << ' ' << double_bits(s.heading_deg) << ' '
+         << double_bits(s.speed_mps) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string serialized_events(const std::vector<LinkEvent>& events) {
+  std::ostringstream os;
+  for (const auto& e : events) {
+    os << e.time << ' ' << (e.up ? 'U' : 'D') << ' ' << e.vehicle_a << ' '
+       << e.vehicle_b << ' ' << double_bits(e.heading_diff_deg) << '\n';
+  }
+  return os.str();
+}
+
+TEST(VanetShardedDeterminismTest, TrajectoryByteIdenticalAcrossThreadCounts) {
+  const auto net = RoadNetwork::city_grid(2, 2, 4, 150.0, 11);
+  TrafficSim::Params params;
+  params.num_vehicles = 5000;  // > 2 shard blocks
+  params.routing = TrafficSim::Routing::kFollowRoad;
+
+  TrafficSim serial(net, 42, params);
+  const auto log1 = serial.run(30 * kSecond);
+
+  exp::ThreadPool pool2(2);
+  TrafficSim sharded2(net, 42, params);
+  const auto log2 = sharded2.run(30 * kSecond, pool2);
+
+  exp::ThreadPool pool8(8);
+  TrafficSim sharded8(net, 42, params);
+  const auto log8 = sharded8.run(30 * kSecond, pool8);
+
+  const auto bytes1 = serialized_trajectory(log1);
+  EXPECT_EQ(bytes1, serialized_trajectory(log2));
+  EXPECT_EQ(bytes1, serialized_trajectory(log8));
+}
+
+TEST(VanetShardedDeterminismTest, LinkEventStreamByteIdenticalAcrossThreadCounts) {
+  const auto net = RoadNetwork::city_grid(2, 2, 4, 150.0, 13);
+  TrafficSim::Params params;
+  params.num_vehicles = 5000;
+  params.routing = TrafficSim::Routing::kFollowRoad;
+
+  exp::ThreadPool pool2(2);
+  exp::ThreadPool pool8(8);
+  LinkTracker::Params tp;
+  tp.heading_noise_deg = 2.0;
+  tp.noise_seed = 9;
+  tp.record_events = true;
+  LinkTracker serial(tp);
+  LinkTracker sharded2(tp, &pool2);
+  LinkTracker sharded8(tp, &pool8);
+
+  TrafficSim sim1(net, 43, params);
+  TrafficSim sim2(net, 43, params);
+  TrafficSim sim8(net, 43, params);
+  for (int step = 0; step < 30; ++step) {
+    const Time now = static_cast<Time>(step) * kSecond;
+    sim1.step();
+    sim2.step(pool2);
+    sim8.step(pool8);
+    serial.observe(now, sim1.snapshot());
+    sharded2.observe(now, sim2.snapshot());
+    sharded8.observe(now, sim8.snapshot());
+  }
+  const auto bytes1 = serialized_events(serial.events());
+  ASSERT_FALSE(serial.events().empty());
+  EXPECT_EQ(bytes1, serialized_events(sharded2.events()));
+  EXPECT_EQ(bytes1, serialized_events(sharded8.events()));
+
+  // The completed-record streams must agree too (field for field).
+  const auto r1 = serial.finish();
+  const auto r2 = sharded2.finish();
+  const auto r8 = sharded8.finish();
+  ASSERT_EQ(r1.size(), r2.size());
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].vehicle_a, r2[i].vehicle_a);
+    EXPECT_EQ(r1[i].start, r8[i].start);
+    EXPECT_EQ(double_bits(r1[i].heading_diff_start_deg),
+              double_bits(r2[i].heading_diff_start_deg));
+    EXPECT_EQ(double_bits(r1[i].heading_diff_start_deg),
+              double_bits(r8[i].heading_diff_start_deg));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spatial-hash edge cases: the classic off-by-one-cell bugs.
+
+std::vector<VehicleState> at_positions(const std::vector<Vec2>& positions) {
+  std::vector<VehicleState> snap;
+  for (const auto& p : positions) snap.push_back(VehicleState{p, 0.0, 0.0});
+  return snap;
+}
+
+TEST(SpatialHashEdgeCaseTest, VehiclesExactlyOnCellBoundaries) {
+  // Every vehicle sits on a multiple of the cell size (including negative
+  // coordinates and the origin) — the floor() corner cases.
+  const auto snap = at_positions({{0.0, 0.0},
+                                  {100.0, 0.0},
+                                  {200.0, 0.0},
+                                  {-100.0, 0.0},
+                                  {0.0, 100.0},
+                                  {-100.0, -100.0},
+                                  {300.0, 0.0}});
+  SpatialHash hash(100.0);
+  hash.build(snap);
+  EXPECT_EQ(hash.pairs_within(snap, 100.0), brute_pairs(snap, 100.0));
+}
+
+TEST(SpatialHashEdgeCaseTest, LinkAtExactlyRangeIsIncluded) {
+  // 100.0 m apart, axis-aligned and as a 3-4-5 diagonal: <= means included.
+  const auto axis = at_positions({{0.0, 0.0}, {100.0, 0.0}});
+  SpatialHash hash(100.0);
+  hash.build(axis);
+  EXPECT_EQ(hash.pairs_within(axis, 100.0).size(), 1U);
+
+  const auto diagonal = at_positions({{0.0, 0.0}, {60.0, 80.0}});
+  hash.build(diagonal);
+  EXPECT_EQ(hash.pairs_within(diagonal, 100.0).size(), 1U);
+
+  const auto beyond = at_positions({{0.0, 0.0}, {100.0000001, 0.0}});
+  hash.build(beyond);
+  EXPECT_TRUE(hash.pairs_within(beyond, 100.0).empty());
+}
+
+TEST(SpatialHashEdgeCaseTest, CoLocatedVehiclesFormAllPairs) {
+  const auto snap =
+      at_positions({{50.0, 50.0}, {50.0, 50.0}, {50.0, 50.0}, {50.0, 50.0}});
+  SpatialHash hash(100.0);
+  hash.build(snap);
+  const auto pairs = hash.pairs_within(snap, 100.0);
+  EXPECT_EQ(pairs.size(), 6U);  // C(4, 2)
+  EXPECT_EQ(pairs, brute_pairs(snap, 100.0));
+}
+
+TEST(SpatialHashEdgeCaseTest, EmptyAndSingleVehicle) {
+  SpatialHash hash(100.0);
+  const std::vector<VehicleState> empty;
+  hash.build(empty);
+  EXPECT_TRUE(hash.pairs_within(empty, 100.0).empty());
+  EXPECT_EQ(hash.num_cells(), 0U);
+
+  const auto one = at_positions({{10.0, 10.0}});
+  hash.build(one);
+  EXPECT_TRUE(hash.pairs_within(one, 100.0).empty());
+
+  // A one-vehicle sim produces no links end to end.
+  TrajectoryLog log(1, kSecond);
+  for (int i = 0; i < 5; ++i) log.append(one);
+  EXPECT_TRUE(extract_links(log, 100.0).empty());
+}
+
+TEST(SpatialHashEdgeCaseTest, BoundaryLatticeStress) {
+  // Vehicles snapped to a 50 m half-cell lattice around the origin: every
+  // pair distance is a multiple of 50, so boundary equality happens
+  // constantly. The hash must agree with brute force exactly.
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Vec2> positions;
+    const int n = static_cast<int>(rng.uniform_int(2, 40));
+    for (int i = 0; i < n; ++i) {
+      positions.push_back(Vec2{50.0 * static_cast<double>(rng.uniform_int(-6, 6)),
+                               50.0 * static_cast<double>(rng.uniform_int(-6, 6))});
+    }
+    const auto snap = at_positions(positions);
+    SpatialHash hash(100.0);
+    hash.build(snap);
+    EXPECT_EQ(hash.pairs_within(snap, 100.0), brute_pairs(snap, 100.0))
+        << "trial " << trial;
+  }
+}
+
+TEST(SpatialHashEdgeCaseTest, RangeSmallerThanCellStillExact) {
+  util::Rng rng(555);
+  std::vector<Vec2> positions;
+  for (int i = 0; i < 60; ++i) {
+    positions.push_back(Vec2{rng.uniform(-200.0, 200.0), rng.uniform(-200.0, 200.0)});
+  }
+  const auto snap = at_positions(positions);
+  SpatialHash hash(100.0);
+  hash.build(snap);
+  for (const double range : {25.0, 60.0, 99.999, 100.0}) {
+    EXPECT_EQ(hash.pairs_within(snap, range), brute_pairs(snap, range))
+        << "range " << range;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden pins at scale: fixed seeds at 100 and 1k vehicles. See file header
+// before "fixing" a failure here.
+
+/// Hash of the integer-valued link fields plus coarse histograms. Pure
+/// integer pipeline after extraction, so the pin is robust to formatting
+/// but pins every id and timestamp bit.
+std::uint64_t link_set_hash(const std::vector<LinkRecord>& links) {
+  std::ostringstream os;
+  int buckets[4] = {0, 0, 0, 0};
+  for (const auto& link : links) {
+    os << link.vehicle_a << ' ' << link.vehicle_b << ' ' << link.start << ' '
+       << link.end << '\n';
+    const double d = link.heading_diff_start_deg;
+    ++buckets[d < 10.0 ? 0 : d < 20.0 ? 1 : d < 30.0 ? 2 : 3];
+  }
+  os << buckets[0] << ' ' << buckets[1] << ' ' << buckets[2] << ' '
+     << buckets[3] << '\n';
+  return fnv1a(os.str());
+}
+
+/// CTE (and hint-free) route choices over fixed situations in `log`,
+/// serialized as vehicle-id sequences.
+std::uint64_t route_choice_hash(const TrajectoryLog& log) {
+  std::ostringstream os;
+  util::Rng rng(1234);
+  const int n = log.num_vehicles();
+  for (int probe = 0; probe < 40; ++probe) {
+    const auto step =
+        static_cast<std::size_t>(rng.uniform_int(0,
+            static_cast<std::int64_t>(log.num_steps()) - 1));
+    const int src = static_cast<int>(rng.uniform_int(0, n - 1));
+    int dst = static_cast<int>(rng.uniform_int(0, n - 1));
+    if (dst == src) dst = (dst + 1) % n;
+    for (const auto strategy : {RouteStrategy::kCte, RouteStrategy::kHintFree}) {
+      const auto route =
+          build_route(log.snapshot(step), src, dst, 80.0, strategy, rng);
+      os << probe << (strategy == RouteStrategy::kCte ? " cte" : " free");
+      if (route.has_value()) {
+        for (const int v : route->vehicles) os << ' ' << v;
+      } else {
+        os << " none";
+      }
+      os << '\n';
+    }
+  }
+  return fnv1a(os.str());
+}
+
+TrajectoryLog golden_log(int vehicles, Duration duration) {
+  const auto net = RoadNetwork::city_for_scale(vehicles, 5150);
+  TrafficSim::Params params;
+  params.num_vehicles = vehicles;
+  params.routing = TrafficSim::Routing::kFollowRoad;
+  TrafficSim sim(net, 5151, params);
+  return sim.run(duration);
+}
+
+TEST(VanetGoldenTest, LinkSetPinnedAt100Vehicles) {
+  const auto log = golden_log(100, 120 * kSecond);
+  const auto links = extract_links(log, 100.0, 2.0, 5152);
+  EXPECT_EQ(link_set_hash(links), 18016003162070075766ULL);
+}
+
+TEST(VanetGoldenTest, LinkSetPinnedAt1kVehicles) {
+  const auto log = golden_log(1000, 60 * kSecond);
+  const auto links = extract_links(log, 100.0, 2.0, 5153);
+  EXPECT_EQ(link_set_hash(links), 14670397243421855854ULL);
+}
+
+TEST(VanetGoldenTest, CteRouteChoicesPinnedAt100Vehicles) {
+  const auto log = golden_log(100, 60 * kSecond);
+  EXPECT_EQ(route_choice_hash(log), 17667719130752279753ULL);
+}
+
+TEST(VanetGoldenTest, CteRouteChoicesPinnedAt1kVehicles) {
+  const auto log = golden_log(1000, 30 * kSecond);
+  EXPECT_EQ(route_choice_hash(log), 7890649670471706801ULL);
+}
+
+}  // namespace
+}  // namespace sh::vanet

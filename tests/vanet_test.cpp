@@ -264,6 +264,41 @@ TEST(LinkTrackerTest, SimilarHeadingLinksLastLonger) {
   EXPECT_GT(aligned.median(), 2.5 * all.median());
 }
 
+// Regression: events must come out in (a, b) vehicle-id order within each
+// step regardless of the discovery order of the proximity scan. The scan
+// walks cells in (iy, ix) order, so placing the HIGHER-id vehicles in the
+// LOWER-ordered cells makes discovery order the reverse of id order.
+TEST(LinkTrackerTest, EventsInVehicleIdOrderRegardlessOfDiscoveryOrder) {
+  LinkTracker::Params params;
+  params.record_events = true;
+  LinkTracker tracker(params);
+  // Three clusters at descending y (cell order is y-major ascending), ids
+  // assigned so the first-scanned cluster holds the largest ids.
+  std::vector<VehicleState> snap(6);
+  snap[4] = VehicleState{{0.0, 0.0}, 0.0, 0.0};    // cell (0, 0)
+  snap[5] = VehicleState{{10.0, 0.0}, 0.0, 0.0};
+  snap[2] = VehicleState{{0.0, 500.0}, 0.0, 0.0};  // cell (0, 5)
+  snap[3] = VehicleState{{10.0, 500.0}, 0.0, 0.0};
+  snap[0] = VehicleState{{0.0, 900.0}, 0.0, 0.0};  // cell (0, 9)
+  snap[1] = VehicleState{{10.0, 900.0}, 0.0, 0.0};
+  tracker.observe(0, snap);
+  ASSERT_EQ(tracker.events().size(), 3U);
+  EXPECT_EQ(tracker.events()[0].vehicle_a, 0);
+  EXPECT_EQ(tracker.events()[1].vehicle_a, 2);
+  EXPECT_EQ(tracker.events()[2].vehicle_a, 4);
+  for (const auto& e : tracker.events()) EXPECT_TRUE(e.up);
+
+  // Break the pairs in reverse id order too; down events still sort by id.
+  for (auto& s : snap) s.position.x *= 100.0;  // 10 m gaps become 1 km
+  tracker.observe(kSecond, snap);
+  ASSERT_EQ(tracker.events().size(), 6U);
+  EXPECT_EQ(tracker.events()[3].vehicle_a, 0);
+  EXPECT_EQ(tracker.events()[4].vehicle_a, 2);
+  EXPECT_EQ(tracker.events()[5].vehicle_a, 4);
+  for (std::size_t i = 3; i < 6; ++i) EXPECT_FALSE(tracker.events()[i].up);
+  EXPECT_EQ(tracker.finish().size(), 3U);
+}
+
 // ---------------------------------------------------------------------------
 // CTE
 

@@ -33,8 +33,12 @@
 #include "channel/trace_cache.h"
 #include "cli.h"
 #include "exp/json.h"
+#include "exp/thread_pool.h"
 #include "experiment_config.h"
 #include "util/fsio.h"
+#include "vanet/link_tracker.h"
+#include "vanet/road_network.h"
+#include "vanet/traffic_sim.h"
 
 using namespace sh;
 
@@ -48,6 +52,7 @@ struct Options {
   bool smoke = false;
   bool list = false;
   std::string filter;
+  std::string exclude;
   std::string out_path;
   std::string check_baseline;
   std::string check_current;
@@ -60,6 +65,7 @@ struct Options {
       "  --reps N          timed repetitions per benchmark (default 5)\n"
       "  --warmup N        untimed warmup repetitions (default 1)\n"
       "  --filter SUBSTR   run only benchmarks whose name contains SUBSTR\n"
+      "  --exclude SUBSTR  skip benchmarks whose name contains SUBSTR\n"
       "  --smoke           shrunk workloads for CI (baseline must match)\n"
       "  --list            print benchmark names and exit\n"
       "  --out FILE        write sh.bench.v1 JSON results\n"
@@ -88,6 +94,8 @@ Options parse(int argc, char** argv) {
       o.warmup = static_cast<int>(cli::parse_int(kTool, "--warmup", v, 0, 1000000));
     } else if ((v = arg("--filter")) != nullptr) {
       o.filter = v;
+    } else if ((v = arg("--exclude")) != nullptr) {
+      o.exclude = v;
     } else if ((v = arg("--out")) != nullptr) {
       o.out_path = v;
     } else if (std::strcmp(argv[i], "--check") == 0) {
@@ -268,6 +276,70 @@ BenchResult bench_adapter_step(const Options& o, const std::string& which) {
   return r;
 }
 
+/// City-scale VANET stepping: one op = one vehicle advanced one simulated
+/// second AND scanned for proximity links. The hash variants run the
+/// production path — sharded TrafficSim::step plus the SpatialHash-backed
+/// streaming LinkTracker over a thread pool — while the brute variant is the
+/// pre-spatial-hash architecture (serial step, O(n²) all-pairs scan), kept
+/// as the speedup yardstick. The two are separate benchmark names, never
+/// compared by --check; the ≥20x hash-over-brute claim is checked by eye
+/// (and by the acceptance run), not by the regression gate.
+BenchResult bench_vanet_step(const Options& o, int vehicles, bool brute) {
+  // Steps per rep: enough to amortize snapshot allocation, small enough to
+  // keep the 100k and brute variants inside a CI minute.
+  int steps = 0;
+  if (brute) {
+    steps = o.smoke ? 1 : 3;
+  } else if (vehicles >= 100000) {
+    steps = o.smoke ? 2 : 5;
+  } else if (vehicles >= 10000) {
+    steps = o.smoke ? 5 : 20;
+  } else {
+    steps = o.smoke ? 20 : 100;
+  }
+  const auto net = vanet::RoadNetwork::city_for_scale(vehicles, 1);
+  vanet::TrafficSim::Params params;
+  params.num_vehicles = vehicles;
+  params.routing = vanet::TrafficSim::Routing::kFollowRoad;
+  vanet::TrafficSim sim(net, 1, params);
+  exp::ThreadPool pool;  // hardware concurrency
+  vanet::LinkTracker tracker(vanet::LinkTracker::Params{}, &pool);
+  Time now = 0;
+  auto r = measure(
+      o, static_cast<double>(vehicles) * steps, [&sim, &pool, &tracker, &now,
+                                                 steps, brute] {
+        for (int s = 0; s < steps; ++s) {
+          if (brute) {
+            sim.step();
+            const auto snap = sim.snapshot();
+            std::size_t pairs = 0;
+            const std::size_t n = snap.size();
+            for (std::size_t a = 0; a < n; ++a) {
+              for (std::size_t b = a + 1; b < n; ++b) {
+                if (vanet::distance(snap[a].position, snap[b].position) <=
+                    100.0) {
+                  ++pairs;
+                }
+              }
+            }
+            g_sink = static_cast<double>(pairs);
+          } else {
+            sim.step(pool);
+            tracker.observe(now, sim.snapshot());
+            g_sink = static_cast<double>(tracker.active_links());
+          }
+          now += kSecond;
+        }
+      });
+  // Workload identity: the sizing knobs, chained through the same splitmix
+  // finalizer the sweep engine uses for seed derivation.
+  std::uint64_t h = util::Rng::derive_seed(
+      0x76616e6574ULL, static_cast<std::uint64_t>(vehicles));
+  h = util::Rng::derive_seed(h, static_cast<std::uint64_t>(steps));
+  r.config_hash = util::Rng::derive_seed(h, brute ? 1ULL : 0ULL);
+  return r;
+}
+
 std::vector<BenchDef> all_benchmarks() {
   using channel::Environment;
   std::vector<BenchDef> defs;
@@ -289,6 +361,16 @@ std::vector<BenchDef> all_benchmarks() {
                       return bench_adapter_step(o, adapter);
                     }});
   }
+  for (const int vehicles : {1000, 10000, 100000}) {
+    defs.push_back(
+        {"vanet_step/hash/" + std::to_string(vehicles / 1000) + "k",
+         [vehicles](const Options& o) {
+           return bench_vanet_step(o, vehicles, /*brute=*/false);
+         }});
+  }
+  defs.push_back({"vanet_step/brute/10k", [](const Options& o) {
+                    return bench_vanet_step(o, 10000, /*brute=*/true);
+                  }});
   return defs;
 }
 
@@ -493,6 +575,9 @@ int main(int argc, char** argv) {
   std::vector<NamedResult> results;
   for (const auto& d : defs) {
     if (!o.filter.empty() && d.name.find(o.filter) == std::string::npos) {
+      continue;
+    }
+    if (!o.exclude.empty() && d.name.find(o.exclude) != std::string::npos) {
       continue;
     }
     NamedResult r;

@@ -35,6 +35,10 @@
 #include "fault/fault_config.h"
 #include "fault/fault_plan.h"
 #include "util/fsio.h"
+#include "util/stats.h"
+#include "vanet/link_tracker.h"
+#include "vanet/road_network.h"
+#include "vanet/traffic_sim.h"
 
 using namespace sh;
 
@@ -59,6 +63,10 @@ struct Options {
   /// the single --hint-max-age-ms value with unchanged labels and seeding.
   std::vector<double> hint_max_age_list;
   bool trace_cache = true;
+  /// Non-empty switches shsweep into the VANET mode: one point per vehicle
+  /// count, sweeping city-scale mobility + link statistics instead of the
+  /// channel grid.
+  std::vector<int> vanet_vehicles;
   // Crash tolerance.
   std::string checkpoint_path;
   std::string resume_path;
@@ -95,6 +103,12 @@ struct Options {
       "  --trace-cache on|off\n"
       "                   memoize generated traces across sweep points\n"
       "                   (default on; results are identical either way)\n"
+      "  --vanet-vehicles LIST\n"
+      "                   comma list of vehicle counts; sweeps the city-scale\n"
+      "                   VANET simulation (one point per count, labels\n"
+      "                   vanet/v<N>) instead of the channel grid.\n"
+      "                   --duration-s is simulated seconds per repetition;\n"
+      "                   incompatible with --checkpoint/--resume/--fault\n"
       "  --checkpoint FILE\n"
       "                   journal each completed repetition to a sh.ckpt.v1\n"
       "                   file; a killed run can be resumed from it\n"
@@ -207,6 +221,16 @@ Options parse(int argc, char** argv) {
       } else {
         cli::fail(kTool, std::string("--trace-cache: expected 'on' or 'off', got '") + v + "'");
       }
+    } else if ((v = arg("--vanet-vehicles")) != nullptr) {
+      o.vanet_vehicles.clear();
+      for (const auto& item : split_csv(v)) {
+        o.vanet_vehicles.push_back(static_cast<int>(cli::parse_int(
+            kTool, "--vanet-vehicles", item.c_str(), 1, 1000000)));
+      }
+      if (o.vanet_vehicles.empty()) {
+        cli::fail(kTool, std::string("--vanet-vehicles: expected a non-empty "
+                                     "comma list, got '") + v + "'");
+      }
     } else if ((v = arg("--checkpoint")) != nullptr) {
       o.checkpoint_path = v;
     } else if ((v = arg("--resume")) != nullptr) {
@@ -236,6 +260,13 @@ Options parse(int argc, char** argv) {
               "--resume already journals to the resumed file; drop "
               "--checkpoint or point it at the same path");
   }
+  if (!o.vanet_vehicles.empty() &&
+      (!o.checkpoint_path.empty() || !o.resume_path.empty() ||
+       !(o.fault.sensor_null() && o.fault.hint_null() && o.fault.exec_null()))) {
+    cli::fail(kTool,
+              "--vanet-vehicles: checkpointing and fault injection are not "
+              "wired into the VANET mode; drop --checkpoint/--resume/--fault");
+  }
   return o;
 }
 
@@ -249,10 +280,97 @@ std::uint64_t double_bits(double v) {
   return bits;
 }
 
+/// The VANET mode: one sweep point per vehicle count, each repetition a
+/// fresh city_for_scale simulation streamed through the spatial-hash
+/// LinkTracker. Rides the same engine as the channel grid — repetition i of
+/// point p draws its entire universe (vehicle streams, network) from
+/// engine-derived seeds — so the JSON is byte-identical at any --threads.
+int run_vanet_sweep(const Options& o) {
+  // Networks are built once per point up front (read-only during the sweep;
+  // a 100k-vehicle metro takes milliseconds but there is no reason to pay
+  // it per repetition). The network seed derives from the vehicle count so
+  // every point gets a distinct city at the same density.
+  std::vector<exp::SweepPoint> points;
+  std::vector<vanet::RoadNetwork> nets;
+  for (const int vehicles : o.vanet_vehicles) {
+    exp::SweepPoint point;
+    point.label = "vanet/v" + std::to_string(vehicles);
+    point.params = {
+        {"vehicles", exp::json_number(static_cast<double>(vehicles))}};
+    point.repetitions = o.reps;
+    points.push_back(std::move(point));
+    nets.push_back(vanet::RoadNetwork::city_for_scale(
+        vehicles,
+        util::Rng::derive_seed(o.base_seed,
+                               static_cast<std::uint64_t>(vehicles))));
+  }
+
+  const Duration duration = seconds(o.duration_s);
+  exp::SweepRunner runner({o.name, o.base_seed, o.threads});
+  const auto result = runner.run(
+      points, [&](const exp::SweepPoint&, const exp::RunContext& ctx) {
+        const int vehicles = o.vanet_vehicles[ctx.point_index];
+        vanet::TrafficSim::Params params;
+        params.num_vehicles = vehicles;
+        params.routing = vanet::TrafficSim::Routing::kFollowRoad;
+        vanet::TrafficSim sim(nets[ctx.point_index], ctx.seed, params);
+        // Streaming extraction: never hold the trajectory. Serial within a
+        // repetition — the engine already parallelizes across repetitions.
+        vanet::LinkTracker tracker(vanet::LinkTracker::Params{});
+        Time now = 0;
+        tracker.observe(now, sim.snapshot());
+        for (Time t = 0; t < duration; t += kSecond) {
+          sim.step();
+          now += kSecond;
+          tracker.observe(now, sim.snapshot());
+        }
+        const auto links = tracker.finish();
+        util::Percentile durations;
+        util::RunningStats mean_s;
+        for (const auto& link : links) {
+          durations.add(link.duration_s());
+          mean_s.add(link.duration_s());
+        }
+        exp::MetricSample sample;
+        sample.set("links", static_cast<double>(links.size()));
+        sample.set("median_link_s", links.empty() ? 0.0 : durations.median());
+        sample.set("mean_link_s", links.empty() ? 0.0 : mean_s.mean());
+        sample.set("links_per_vehicle", static_cast<double>(links.size()) /
+                                            static_cast<double>(vehicles));
+        return sample;
+      });
+
+  if (!o.quiet) {
+    util::Table table(
+        {"point", "links", "median s", "mean s", "links/vehicle"});
+    for (const auto& pr : result.points) {
+      table.add_row({pr.point.label,
+                     util::fmt(pr.metrics.summary("links").mean, 1),
+                     util::fmt(pr.metrics.summary("median_link_s").mean, 2),
+                     util::fmt(pr.metrics.summary("mean_link_s").mean, 2),
+                     util::fmt(pr.metrics.summary("links_per_vehicle").mean, 3)});
+    }
+    table.print(std::cout);
+  }
+  if (!o.out_path.empty()) {
+    if (!util::atomic_write_file(o.out_path, result.to_json())) {
+      std::fprintf(stderr, "%s: cannot write %s\n", kTool, o.out_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "[%s: %llu points, %llu runs, %d threads, %.2fs]\n",
+               o.name.c_str(),
+               static_cast<unsigned long long>(result.points.size()),
+               static_cast<unsigned long long>(result.total_runs),
+               runner.thread_count(), result.wall_seconds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (!o.vanet_vehicles.empty()) return run_vanet_sweep(o);
 
   struct Cell {
     channel::Environment env;
