@@ -2,7 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numbers>
+
+#include "util/detmath.h"
 
 namespace sh::channel {
 namespace {
@@ -36,23 +39,126 @@ FadingProcess::FadingProcess(util::Rng& rng, int num_paths)
 }
 
 double FadingProcess::gain_db(double tau, const RicianMix& mix) const noexcept {
+  // detmath::dcos/dsin rather than libm: the block kernel (gain_db_n)
+  // evaluates the same sinusoids over whole slot arrays, and only the
+  // repo-owned kernels guarantee the batched evaluation is bit-identical
+  // to this scalar walk (see util/detmath.h).
   double gi = 0.0;
   double gq = 0.0;
   for (const auto& p : paths_) {
     const double theta = p.omega * tau;
-    gi += std::cos(theta + p.phase_i);
-    gq += std::cos(theta + p.phase_q);
+    gi += util::detmath::dcos(theta + p.phase_i);
+    gq += util::detmath::dcos(theta + p.phase_q);
   }
   gi *= norm_;
   gq *= norm_;
   // LOS arrives head-on: its Doppler phase advances at the full rate.
   const double los_theta = kTwoPi * tau + los_phase_;
-  const double i = mix.scatter_scale * gi + mix.los_amp * std::cos(los_theta);
-  const double q = mix.scatter_scale * gq + mix.los_amp * std::sin(los_theta);
+  const double i =
+      mix.scatter_scale * gi + mix.los_amp * util::detmath::dcos(los_theta);
+  const double q =
+      mix.scatter_scale * gq + mix.los_amp * util::detmath::dsin(los_theta);
   const double power = i * i + q * q;
   if (power <= 0.0) return kGainFloorDb;
   const double db = 10.0 * std::log10(power);
   return db < kGainFloorDb ? kGainFloorDb : db;
+}
+
+void FadingProcess::compose_gain_n(std::size_t n, const RicianMix& mix,
+                                   double* out,
+                                   BlockScratch& scratch) const noexcept {
+  // Tail of gain_db after the scattered sums: identical expression shapes,
+  // element by element (the project targets a no-FMA baseline ISA, so plain
+  // mul/add here can never be contracted differently from the scalar path).
+  const double* gi = scratch.gi.data();
+  const double* gq = scratch.gq.data();
+  const double* ls = scratch.sin_v.data();
+  const double* lc = scratch.cos_v.data();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double gin = gi[k] * norm_;
+    const double gqn = gq[k] * norm_;
+    const double i = mix.scatter_scale * gin + mix.los_amp * lc[k];
+    const double q = mix.scatter_scale * gqn + mix.los_amp * ls[k];
+    const double power = i * i + q * q;
+    if (power <= 0.0) {
+      out[k] = kGainFloorDb;
+      continue;
+    }
+    const double db = 10.0 * std::log10(power);
+    out[k] = db < kGainFloorDb ? kGainFloorDb : db;
+  }
+}
+
+void FadingProcess::gain_db_n(const double* tau, std::size_t n,
+                              const RicianMix& mix, double* out,
+                              BlockScratch& scratch) const {
+  scratch.gi.assign(n, 0.0);
+  scratch.gq.assign(n, 0.0);
+  scratch.ang.resize(n);
+  scratch.sin_v.resize(n);
+  scratch.cos_v.resize(n);
+  for (const auto& p : paths_) {
+    util::detmath::fade_path_accumulate_n(tau, n, p.omega, p.phase_i,
+                                          p.phase_q, scratch.gi.data(),
+                                          scratch.gq.data());
+  }
+  double* ang = scratch.ang.data();
+  for (std::size_t k = 0; k < n; ++k) ang[k] = kTwoPi * tau[k] + los_phase_;
+  util::detmath::sincos_n(ang, n, scratch.sin_v.data(), scratch.cos_v.data());
+  compose_gain_n(n, mix, out, scratch);
+}
+
+void FadingProcess::gain_db_n_fast(const double* tau, std::size_t n,
+                                   const RicianMix& mix, double* out,
+                                   BlockScratch& scratch) const {
+  if (n == 0) return;
+  const std::size_t np = paths_.size();
+  scratch.gi.resize(n);
+  scratch.gq.resize(n);
+  scratch.sin_v.resize(n);
+  scratch.cos_v.resize(n);
+  // 2*np rotators: lanes [0, np) track cos(omega*tau + phase_i) for gi,
+  // lanes [np, 2*np) track the phase_q set for gq. Every lane is seeded
+  // exactly (dsincos at tau[0]) and stepped by the first tau difference —
+  // within one mobility/Doppler span tau is affine in the slot index, so
+  // the only divergence from the exact path is the rotation round-off.
+  scratch.rot_c.resize(2 * np);
+  scratch.rot_s.resize(2 * np);
+  scratch.rot_dc.resize(2 * np);
+  scratch.rot_ds.resize(2 * np);
+  const double dtau = n >= 2 ? tau[1] - tau[0] : 0.0;
+  for (std::size_t p = 0; p < np; ++p) {
+    const double theta = paths_[p].omega * tau[0];
+    util::detmath::dsincos(theta + paths_[p].phase_i, scratch.rot_s[p],
+                           scratch.rot_c[p]);
+    util::detmath::dsincos(theta + paths_[p].phase_q, scratch.rot_s[np + p],
+                           scratch.rot_c[np + p]);
+    double step_s = 0.0;
+    double step_c = 1.0;
+    util::detmath::dsincos(paths_[p].omega * dtau, step_s, step_c);
+    scratch.rot_dc[p] = step_c;
+    scratch.rot_ds[p] = step_s;
+    scratch.rot_dc[np + p] = step_c;
+    scratch.rot_ds[np + p] = step_s;
+  }
+  util::detmath::rotator_sum_block(scratch.rot_c.data(), scratch.rot_s.data(),
+                                   scratch.rot_dc.data(), scratch.rot_ds.data(),
+                                   np, n, scratch.gi.data());
+  util::detmath::rotator_sum_block(
+      scratch.rot_c.data() + np, scratch.rot_s.data() + np,
+      scratch.rot_dc.data() + np, scratch.rot_ds.data() + np, np, n,
+      scratch.gq.data());
+  // LOS rotator, emitting both coordinates per slot.
+  double los_s = 0.0;
+  double los_c = 1.0;
+  util::detmath::dsincos(kTwoPi * tau[0] + los_phase_, los_s, los_c);
+  double dls = 0.0;
+  double dlc = 1.0;
+  util::detmath::dsincos(kTwoPi * dtau, dls, dlc);
+  util::detmath::rotator_emit_block(los_c, los_s, dlc, dls, n,
+                                    scratch.cos_v.data(),
+                                    scratch.sin_v.data());
+  compose_gain_n(n, mix, out, scratch);
 }
 
 DopplerClock::DopplerClock(const sim::MobilityScenario& scenario, Config config) {
@@ -110,6 +216,15 @@ const DopplerClock::Segment& DopplerClock::Cursor::segment_at(
   return segments[index_];
 }
 
+DopplerClock::Cursor::Span DopplerClock::Cursor::span_at(Time t) noexcept {
+  const Segment& seg = segment_at(t);
+  const auto& segments = clock_->segments_;
+  const Time next = index_ + 1 < segments.size()
+                        ? segments[index_ + 1].start
+                        : std::numeric_limits<Time>::max();
+  return Span{seg.tau_start, seg.hz, seg.start, next};
+}
+
 ShadowingProcess::ShadowingProcess(util::Rng& rng, double sigma_db,
                                    double period_s) {
   assert(sigma_db >= 0.0);
@@ -129,8 +244,19 @@ ShadowingProcess::ShadowingProcess(util::Rng& rng, double sigma_db,
 double ShadowingProcess::offset_db(double progress_s) const noexcept {
   double sum = 0.0;
   for (const auto& c : components_)
-    sum += c.amplitude_db * std::sin(c.omega * progress_s + c.phase);
+    sum += c.amplitude_db * util::detmath::dsin(c.omega * progress_s + c.phase);
   return sum;
+}
+
+void ShadowingProcess::offset_db_n(const double* progress_s, std::size_t n,
+                                   double* out) const noexcept {
+  // Component-by-component accumulation in the same order as offset_db, so
+  // out[k]'s sum sequence is the scalar one.
+  for (std::size_t k = 0; k < n; ++k) out[k] = 0.0;
+  for (const auto& c : components_) {
+    util::detmath::sinusoid_accumulate_n(progress_s, n, c.amplitude_db,
+                                         c.omega, c.phase, out);
+  }
 }
 
 }  // namespace sh::channel

@@ -47,7 +47,33 @@ class FadingProcess {
   /// Same gain with precomputed mixing weights (the hot-path form).
   double gain_db(double tau, const RicianMix& mix) const noexcept;
 
+  /// Reusable buffers for the block kernels, owned by the caller so one
+  /// allocation serves every block of a trace.
+  struct BlockScratch {
+    std::vector<double> gi, gq, ang, sin_v, cos_v;
+    std::vector<double> rot_c, rot_s, rot_dc, rot_ds;  ///< Fast-path rotators.
+  };
+
+  /// Block form of gain_db: out[k] is bit-identical to
+  /// gain_db(tau[k], mix) for every k (the per-element arithmetic is the
+  /// same detmath kernels in the same order; see DESIGN.md "Block trace
+  /// kernel").
+  void gain_db_n(const double* tau, std::size_t n, const RicianMix& mix,
+                 double* out, BlockScratch& scratch) const;
+
+  /// Approximate block form for --fast-trace: each path's sinusoid advances
+  /// by phase rotation (seeded exactly at tau[0], stepped by the first tau
+  /// difference) instead of a fresh cos per slot. Statistically equivalent
+  /// (drift O(n * eps) per call — callers bound n by the block size) but
+  /// NOT bit-identical to gain_db; must never feed golden-pinned artifacts.
+  void gain_db_n_fast(const double* tau, std::size_t n, const RicianMix& mix,
+                      double* out, BlockScratch& scratch) const;
+
  private:
+  /// Shared tail of the block kernels: normalize, mix LOS, power -> dB.
+  void compose_gain_n(std::size_t n, const RicianMix& mix, double* out,
+                      BlockScratch& scratch) const noexcept;
+
   struct Path {
     double omega;    ///< 2*pi*cos(alpha): Doppler phase rate of this path.
     double phase_i;  ///< In-phase component phase offset.
@@ -103,6 +129,18 @@ class DopplerClock {
     }
     double doppler_hz_at(Time t) noexcept { return segment_at(t).hz; }
 
+    /// Segment parameters for span-at-a-time evaluation (the block kernel):
+    /// the segment containing `t` plus the time the next segment begins
+    /// (Time max for the last segment). tau at any u in [start, next_start)
+    /// is tau_start + hz * to_seconds(u - start) — the tau_at formula.
+    struct Span {
+      double tau_start;
+      double hz;
+      Time start;
+      Time next_start;
+    };
+    Span span_at(Time t) noexcept;
+
    private:
     const Segment& segment_at(Time t) noexcept;
 
@@ -131,6 +169,10 @@ class ShadowingProcess {
   ShadowingProcess(util::Rng& rng, double sigma_db, double period_s = 8.0);
 
   double offset_db(double progress_s) const noexcept;
+
+  /// Block form: out[k] is bit-identical to offset_db(progress_s[k]).
+  void offset_db_n(const double* progress_s, std::size_t n,
+                   double* out) const noexcept;
 
  private:
   struct Component {

@@ -17,7 +17,7 @@ double delivery_probability(double snr_db, mac::RateIndex rate,
                       static_cast<double>(params.reference_bytes));
   const double threshold = mac::rate(rate).min_snr_db + length_shift_db;
   const double x = (snr_db - threshold) / params.transition_width_db;
-  return 1.0 / (1.0 + std::exp(-x));
+  return 1.0 / (1.0 + util::detmath::dexp(-x));
 }
 
 DeliveryModel::DeliveryModel(int payload_bytes, SnrModelParams params)
@@ -34,12 +34,37 @@ DeliveryModel::DeliveryModel(int payload_bytes, SnrModelParams params)
   }
 }
 
+void DeliveryModel::probabilities_n(const double* snr_db, std::size_t n,
+                                    mac::RateIndex rate, double* out,
+                                    double* scratch) const noexcept {
+  // Same arithmetic as probability(), element by element: the subtraction,
+  // division, and negation are exact-shape identical, dexp's batch form is
+  // bit-identical to its scalar form by the detmath contract, and the final
+  // division matches.
+  const double threshold = threshold_db_[static_cast<std::size_t>(rate)];
+  for (std::size_t k = 0; k < n; ++k) {
+    scratch[k] = -((snr_db[k] - threshold) / transition_width_db_);
+  }
+  util::detmath::exp_n(scratch, n, out);
+  for (std::size_t k = 0; k < n; ++k) out[k] = 1.0 / (1.0 + out[k]);
+}
+
 mac::RateIndex best_rate_for_snr(double snr_db, double target,
                                  int payload_bytes,
                                  const SnrModelParams& params) {
+  // The frame-length shift is rate-independent; hoist it out of the rate
+  // loop instead of letting delivery_probability recompute the log2 per
+  // rate. Each per-rate probability is still the very double that function
+  // returns (same shift value, same logistic arithmetic) — pinned by
+  // SnrModelTest.BestRateMatchesPerRateProbabilities.
+  const double length_shift_db =
+      0.9 * std::log2(static_cast<double>(payload_bytes) /
+                      static_cast<double>(params.reference_bytes));
   for (mac::RateIndex r = mac::fastest_rate(); r > mac::slowest_rate(); --r) {
-    if (delivery_probability(snr_db, r, payload_bytes, params) >= target)
-      return r;
+    const double threshold = mac::rate(r).min_snr_db + length_shift_db;
+    const double x = (snr_db - threshold) / params.transition_width_db;
+    const double p = 1.0 / (1.0 + util::detmath::dexp(-x));
+    if (p >= target) return r;
   }
   return mac::slowest_rate();
 }

@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "mac/rates.h"
+#include "util/detmath.h"
 
 namespace sh::channel {
 
@@ -48,10 +49,18 @@ class DeliveryModel {
   explicit DeliveryModel(int payload_bytes = 1000, SnrModelParams params = {});
 
   double probability(double snr_db, mac::RateIndex rate) const noexcept {
+    // util::detmath::dexp rather than std::exp so the batched form
+    // (probabilities_n) is bit-identical to this per-slot call.
     const double x = (snr_db - threshold_db_[static_cast<std::size_t>(rate)]) /
                      transition_width_db_;
-    return 1.0 / (1.0 + std::exp(-x));
+    return 1.0 / (1.0 + util::detmath::dexp(-x));
   }
+
+  /// Block form: out[k] is bit-identical to probability(snr_db[k], rate).
+  /// `scratch` must hold at least n doubles.
+  void probabilities_n(const double* snr_db, std::size_t n,
+                       mac::RateIndex rate, double* out,
+                       double* scratch) const noexcept;
 
  private:
   std::array<double, mac::kNumRates> threshold_db_{};

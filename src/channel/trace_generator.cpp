@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace sh::channel {
@@ -186,7 +187,157 @@ bool ChannelRealization::Cursor::moving_at(Time t) noexcept {
   return sim::is_moving(phase_at(t).state);
 }
 
-PacketFateTrace generate_trace(const TraceGeneratorConfig& config) {
+ChannelRealization::BlockSampler::BlockSampler(
+    const ChannelRealization& channel, bool fast) noexcept
+    : ch_(&channel),
+      fast_(fast),
+      doppler_(channel.doppler_),
+      shadow_(channel.shadow_clock_),
+      mix_static_(
+          FadingProcess::RicianMix::from_k(channel.profile_->rician_k_static)),
+      mix_mobile_(
+          FadingProcess::RicianMix::from_k(channel.profile_->rician_k_mobile)) {
+}
+
+const sim::MobilityPhase& ChannelRealization::BlockSampler::phase_walk(
+    Time t, Time& next_start) noexcept {
+  // Identical selection to Cursor::phase_at, plus the time at which the
+  // selection would change (Time max while in the last phase, which extends
+  // past the end of the script).
+  const auto& phases = ch_->scenario_.phases();
+  if (t < phase_start_) {
+    phase_index_ = 0;
+    phase_start_ = 0;
+  }
+  while (phase_index_ + 1 < phases.size() &&
+         t >= phase_start_ + phases[phase_index_].duration) {
+    phase_start_ += phases[phase_index_].duration;
+    ++phase_index_;
+  }
+  next_start = phase_index_ + 1 < phases.size()
+                   ? phase_start_ + phases[phase_index_].duration
+                   : std::numeric_limits<Time>::max();
+  return phases[phase_index_];
+}
+
+const std::pair<Time, double>& ChannelRealization::BlockSampler::checkpoint_walk(
+    Time t, Time& next_start) noexcept {
+  // Identical selection to Cursor::distance_path_loss_db's checkpoint walk.
+  const auto& checkpoints = ch_->distance_checkpoints_;
+  if (checkpoints[checkpoint_index_].first > t) checkpoint_index_ = 0;
+  while (checkpoint_index_ + 1 < checkpoints.size() &&
+         checkpoints[checkpoint_index_ + 1].first <= t) {
+    ++checkpoint_index_;
+  }
+  next_start = checkpoint_index_ + 1 < checkpoints.size()
+                   ? checkpoints[checkpoint_index_ + 1].first
+                   : std::numeric_limits<Time>::max();
+  return checkpoints[checkpoint_index_];
+}
+
+void ChannelRealization::BlockSampler::sample_n(const Time* mid, std::size_t n,
+                                                double* snr_out,
+                                                bool* moving_out) {
+  tau_.resize(n);
+  sprog_.resize(n);
+  pl_.resize(n);
+  fade_.resize(n);
+  shadow_off_.resize(n);
+
+  // Pass 1: cut [0, n) into spans on which the mobility phase, both Doppler
+  // clocks, and the distance checkpoint are all constant (their boundaries
+  // all derive from scenario phase edges, so spans are long), then evaluate
+  // each span's tau, shadowing progress, path loss, fading, and shadowing
+  // over contiguous arrays.
+  std::size_t i = 0;
+  while (i < n) {
+    const Time t = mid[i];
+    Time phase_next = 0;
+    const sim::MobilityPhase& phase = phase_walk(t, phase_next);
+    const DopplerClock::Cursor::Span dop = doppler_.span_at(t);
+    const DopplerClock::Cursor::Span sha = shadow_.span_at(t);
+    Time span_end = std::min(phase_next,
+                             std::min(dop.next_start, sha.next_start));
+    const std::pair<Time, double>* checkpoint = nullptr;
+    if (ch_->env_ == Environment::kVehicular) {
+      Time cp_next = 0;
+      checkpoint = &checkpoint_walk(t, cp_next);
+      span_end = std::min(span_end, cp_next);
+    }
+    std::size_t j = i + 1;
+    while (j < n && mid[j] < span_end) ++j;
+    const std::size_t len = j - i;
+
+    // Same per-element formula as DopplerClock::Cursor::tau_at, with the
+    // segment hoisted: tau_start + hz * to_seconds(t - start).
+    for (std::size_t k = i; k < j; ++k) {
+      tau_[k] = dop.tau_start + dop.hz * to_seconds(mid[k] - dop.start);
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      sprog_[k] = sha.tau_start + sha.hz * to_seconds(mid[k] - sha.start);
+    }
+    const bool moving = sim::is_moving(phase.state);
+    for (std::size_t k = i; k < j; ++k) moving_out[k] = moving;
+
+    if (checkpoint != nullptr) {
+      // Cursor::distance_path_loss_db's geometry, term for term (libm fmod/
+      // hypot/log10 stay scalar calls on identical operands).
+      const DriveByGeometry& geometry = ch_->geometry_;
+      const double length = geometry.road_half_length_m;
+      const double cycle = 4.0 * length;
+      for (std::size_t k = i; k < j; ++k) {
+        const double s = checkpoint->second +
+                         phase.speed_mps * to_seconds(mid[k] - checkpoint->first);
+        double m = std::fmod(s + geometry.start_position_m + length, cycle);
+        if (m < 0.0) m += cycle;
+        const double pos =
+            (m < 2.0 * length) ? (-length + m) : (3.0 * length - m);
+        const double dist = std::hypot(geometry.lateral_offset_m, pos);
+        pl_[k] = 10.0 * geometry.path_loss_exponent *
+                 std::log10(dist / geometry.lateral_offset_m);
+      }
+    } else {
+      for (std::size_t k = i; k < j; ++k) pl_[k] = 0.0;
+    }
+
+    const FadingProcess::RicianMix& mix = moving ? mix_mobile_ : mix_static_;
+    if (fast_) {
+      ch_->fading_.gain_db_n_fast(tau_.data() + i, len, mix, fade_.data() + i,
+                                  fade_scratch_);
+    } else {
+      ch_->fading_.gain_db_n(tau_.data() + i, len, mix, fade_.data() + i,
+                             fade_scratch_);
+    }
+    ch_->shadowing_.offset_db_n(sprog_.data() + i, len, shadow_off_.data() + i);
+    i = j;
+  }
+
+  // Pass 2: interference bursts (their boundaries are independent of the
+  // phase structure) via Cursor::in_burst's monotone walk, then the SNR
+  // composition in the exact scalar association order:
+  // ((((mean + offset) - path_loss) + shadowing) + fade) - burst.
+  const double base = ch_->profile_->mean_snr_db + ch_->snr_offset_db_;
+  const double depth = ch_->profile_->burst_depth_db;
+  const auto& bursts = ch_->bursts_;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Time t = mid[k];
+    if (burst_index_ > 0 && burst_index_ <= bursts.size() &&
+        bursts[burst_index_ - 1].second > t) {
+      burst_index_ = 0;
+    }
+    while (burst_index_ < bursts.size() && bursts[burst_index_].second <= t) {
+      ++burst_index_;
+    }
+    const bool in_burst =
+        burst_index_ < bursts.size() && bursts[burst_index_].first <= t;
+    const double burst = in_burst ? depth : 0.0;
+    snr_out[k] = base - pl_[k] + shadow_off_[k] + fade_[k] - burst;
+  }
+}
+
+namespace {
+
+void validate_trace_config(const TraceGeneratorConfig& config) {
   // Deterministic validation in every build mode: an assert would vanish
   // under NDEBUG and leave a zero slot_duration to divide by below.
   if (config.slot_duration <= 0) {
@@ -197,6 +348,13 @@ PacketFateTrace generate_trace(const TraceGeneratorConfig& config) {
     throw std::invalid_argument(
         "generate_trace: payload_bytes must be positive");
   }
+}
+
+}  // namespace
+
+PacketFateTrace generate_trace_scalar(const TraceGeneratorConfig& config,
+                                      std::vector<double>* true_snr_out) {
+  validate_trace_config(config);
   ChannelRealization channel(config.env, config.scenario, config.seed,
                              config.geometry, config.snr_offset_db,
                              config.shadow_sigma_scale, config.shadow_clock);
@@ -204,9 +362,9 @@ PacketFateTrace generate_trace(const TraceGeneratorConfig& config) {
   // are decorrelated.
   util::Rng fate_rng(config.seed ^ 0xF47E5EEDULL);
 
-  // Hot path: one monotone cursor walk per slot plus precomputed per-rate
-  // delivery thresholds. Both reproduce the random-access arithmetic
-  // bit-for-bit (golden-trace hashes pin this).
+  // One monotone cursor walk per slot plus precomputed per-rate delivery
+  // thresholds. Both reproduce the random-access arithmetic bit-for-bit
+  // (golden-trace hashes pin this).
   ChannelRealization::Cursor cursor(channel);
   const DeliveryModel delivery(config.payload_bytes);
 
@@ -229,8 +387,70 @@ PacketFateTrace generate_trace(const TraceGeneratorConfig& config) {
           fate_rng.bernoulli(delivery.probability(true_snr, r));
     }
     trace.push_back(slot);
+    if (true_snr_out != nullptr) true_snr_out->push_back(true_snr);
   }
   return trace;
+}
+
+PacketFateTrace generate_trace_block(const TraceGeneratorConfig& config,
+                                     std::size_t block_slots,
+                                     std::vector<double>* true_snr_out) {
+  validate_trace_config(config);
+  ChannelRealization channel(config.env, config.scenario, config.seed,
+                             config.geometry, config.snr_offset_db,
+                             config.shadow_sigma_scale, config.shadow_clock);
+  util::Rng fate_rng(config.seed ^ 0xF47E5EEDULL);
+  ChannelRealization::BlockSampler sampler(channel, config.fast_trace);
+  const DeliveryModel delivery(config.payload_bytes);
+
+  const Duration total = config.scenario.total_duration();
+  const auto num_slots =
+      static_cast<std::size_t>(total / config.slot_duration);
+  PacketFateTrace trace(config.slot_duration);
+  trace.reserve(num_slots);
+
+  const std::size_t block = std::max<std::size_t>(1, block_slots);
+  std::vector<Time> mid(block);
+  std::vector<double> snr(block);
+  const std::unique_ptr<bool[]> moving(new bool[block]);
+  // Rate-major per-rate delivery probabilities for the block.
+  std::vector<double> probs(static_cast<std::size_t>(mac::kNumRates) * block);
+  std::vector<double> scratch(block);
+
+  for (std::size_t start = 0; start < num_slots; start += block) {
+    const std::size_t len = std::min(block, num_slots - start);
+    for (std::size_t k = 0; k < len; ++k) {
+      mid[k] = static_cast<Time>(start + k) * config.slot_duration +
+               config.slot_duration / 2;
+    }
+    sampler.sample_n(mid.data(), len, snr.data(), moving.get());
+    for (int r = 0; r < mac::kNumRates; ++r) {
+      delivery.probabilities_n(snr.data(), len, r,
+                               probs.data() + static_cast<std::size_t>(r) *
+                                                  block,
+                               scratch.data());
+    }
+    // Scalar tail: the fate RNG is a sequential stream, so draws stay in
+    // the exact scalar order — one normal then kNumRates Bernoullis per
+    // slot — against the precomputed probability arrays.
+    for (std::size_t k = 0; k < len; ++k) {
+      TraceSlot slot;
+      slot.snr_db = static_cast<float>(
+          snr[k] + fate_rng.normal(0.0, config.snr_noise_db));
+      slot.moving = moving[k];
+      for (int r = 0; r < mac::kNumRates; ++r) {
+        slot.delivered[static_cast<std::size_t>(r)] = fate_rng.bernoulli(
+            probs[static_cast<std::size_t>(r) * block + k]);
+      }
+      trace.push_back(slot);
+      if (true_snr_out != nullptr) true_snr_out->push_back(snr[k]);
+    }
+  }
+  return trace;
+}
+
+PacketFateTrace generate_trace(const TraceGeneratorConfig& config) {
+  return generate_trace_block(config, kDefaultTraceBlockSlots);
 }
 
 }  // namespace sh::channel

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "channel/environment.h"
 #include "channel/fading.h"
@@ -95,6 +96,52 @@ class ChannelRealization {
     std::size_t checkpoint_index_ = 0;
   };
 
+  /// Structure-of-arrays block sampler: the batched counterpart of Cursor.
+  /// sample_n fills true SNR and motion for a whole run of non-decreasing
+  /// slot midpoints at once — it walks the piecewise structures (mobility
+  /// phases, Doppler/shadow segments, distance checkpoints) to cut the run
+  /// into spans on which all of them are constant, evaluates each span over
+  /// contiguous arrays via the detmath batch kernels, then applies the
+  /// interference bursts with a per-slot monotone walk.
+  ///
+  /// Exact mode (fast = false) is bit-identical to Cursor::snr_db_at /
+  /// moving_at for every midpoint — same segment-selection rules, same
+  /// arithmetic on the same doubles (tests/trace_kernel_test.cpp pins this
+  /// differentially and property-wise). Fast mode replaces the per-slot
+  /// fading cosines with block-seeded phase rotators (see
+  /// FadingProcess::gain_db_n_fast): statistically equivalent, never fed to
+  /// golden-pinned artifacts.
+  class BlockSampler {
+   public:
+    explicit BlockSampler(const ChannelRealization& channel,
+                          bool fast = false) noexcept;
+
+    /// Preconditions: mid[0..n) non-decreasing (and non-decreasing across
+    /// calls for the monotone fast path; a backwards step re-walks like
+    /// Cursor does).
+    void sample_n(const Time* mid, std::size_t n, double* snr_out,
+                  bool* moving_out);
+
+   private:
+    const sim::MobilityPhase& phase_walk(Time t, Time& next_start) noexcept;
+    const std::pair<Time, double>& checkpoint_walk(Time t,
+                                                   Time& next_start) noexcept;
+
+    const ChannelRealization* ch_;
+    bool fast_;
+    DopplerClock::Cursor doppler_;
+    DopplerClock::Cursor shadow_;
+    FadingProcess::RicianMix mix_static_;
+    FadingProcess::RicianMix mix_mobile_;
+    std::size_t phase_index_ = 0;
+    Time phase_start_ = 0;
+    std::size_t burst_index_ = 0;
+    std::size_t checkpoint_index_ = 0;
+    /// Span-sliced SoA buffers (sized per call, reused across calls).
+    std::vector<double> tau_, sprog_, pl_, fade_, shadow_off_;
+    FadingProcess::BlockScratch fade_scratch_;
+  };
+
  private:
   double distance_path_loss_db(Time t) const;
   bool in_burst(Time t) const;
@@ -141,6 +188,13 @@ struct TraceGeneratorConfig {
   /// (body shadowing on a longer path varies over many seconds).
   DopplerClock::Config shadow_clock{0.04, 1.6, 0.9};
   DriveByGeometry geometry{};
+  /// Opt-in approximate fading evaluation (CLI: --fast-trace). The fading
+  /// sinusoids advance by per-block phase rotation instead of a fresh
+  /// cosine per slot — statistically equivalent to the exact kernel
+  /// (pinned by the fast-trace tier in tests/trace_kernel_test.cpp) but
+  /// not bit-identical, so fast traces are keyed separately by the trace
+  /// cache and MUST NOT feed golden-pinned artifacts.
+  bool fast_trace = false;
 };
 
 /// Generates a packet-fate trace by sampling a fresh channel realization.
@@ -155,5 +209,28 @@ struct TraceGeneratorConfig {
 /// payload_bytes is not positive (checked in every build mode — release
 /// builds must not silently divide by zero where a debug build asserts).
 PacketFateTrace generate_trace(const TraceGeneratorConfig& config);
+
+/// Reference implementation: the PR 4 scalar cursor walk, one slot at a
+/// time. generate_trace (the block kernel) is bit-identical to this for
+/// every config with fast_trace == false; the differential `kernel` test
+/// tier holds the two against each other. If `true_snr_out` is non-null it
+/// receives the per-slot true SNR doubles (before observation noise), the
+/// quantity the differential tests compare at full double precision.
+PacketFateTrace generate_trace_scalar(const TraceGeneratorConfig& config,
+                                      std::vector<double>* true_snr_out =
+                                          nullptr);
+
+/// Block-kernel implementation with an explicit block size (slots per
+/// batch). generate_trace uses kDefaultTraceBlockSlots; tests sweep odd
+/// sizes and off-multiple trace lengths. Any block_slots value produces
+/// identical output — blocking changes evaluation grouping, never results.
+PacketFateTrace generate_trace_block(const TraceGeneratorConfig& config,
+                                     std::size_t block_slots,
+                                     std::vector<double>* true_snr_out =
+                                         nullptr);
+
+/// Default slots-per-block of the block kernel: big enough to amortize the
+/// batch kernels, small enough to stay L1-resident (~14 doubles per slot).
+inline constexpr std::size_t kDefaultTraceBlockSlots = 256;
 
 }  // namespace sh::channel

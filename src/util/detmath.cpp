@@ -1,0 +1,73 @@
+// Public detmath entry points: one-time backend selection, then forwarding.
+// Backend choice is a pure speed decision (the backends are bit-identical);
+// it is made once per process so every call in a run uses the same code.
+#include "util/detmath.h"
+
+#include "util/detmath_dispatch.h"
+
+namespace sh::util::detmath {
+namespace {
+
+const internal::Vtable& pick_backend() noexcept {
+#if defined(SH_DETMATH_HAVE_AVX2) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return internal::avx2_vtable();
+  }
+#endif
+  return internal::portable_vtable();
+}
+
+const internal::Vtable& active() noexcept {
+  static const internal::Vtable& v = pick_backend();
+  return v;
+}
+
+}  // namespace
+
+double dsin(double x) noexcept { return active().dsin(x); }
+double dcos(double x) noexcept { return active().dcos(x); }
+double dexp(double x) noexcept { return active().dexp(x); }
+void dsincos(double x, double& sin_out, double& cos_out) noexcept {
+  active().dsincos(x, sin_out, cos_out);
+}
+
+void sin_n(const double* x, std::size_t n, double* out) noexcept {
+  active().sin_n(x, n, out);
+}
+void cos_n(const double* x, std::size_t n, double* out) noexcept {
+  active().cos_n(x, n, out);
+}
+void exp_n(const double* x, std::size_t n, double* out) noexcept {
+  active().exp_n(x, n, out);
+}
+void sincos_n(const double* x, std::size_t n, double* sin_out,
+              double* cos_out) noexcept {
+  active().sincos_n(x, n, sin_out, cos_out);
+}
+
+void fade_path_accumulate_n(const double* tau, std::size_t n, double omega,
+                            double phase_i, double phase_q, double* gi,
+                            double* gq) noexcept {
+  active().fade_path_accumulate_n(tau, n, omega, phase_i, phase_q, gi, gq);
+}
+
+void sinusoid_accumulate_n(const double* x, std::size_t n, double amp,
+                           double omega, double phase, double* acc) noexcept {
+  active().sinusoid_accumulate_n(x, n, amp, omega, phase, acc);
+}
+
+void rotator_sum_block(double* c, double* s, const double* dc,
+                       const double* ds, std::size_t m, std::size_t n,
+                       double* out) noexcept {
+  active().rotator_sum_block(c, s, dc, ds, m, n, out);
+}
+
+void rotator_emit_block(double& c, double& s, double dc, double ds,
+                        std::size_t n, double* cos_out,
+                        double* sin_out) noexcept {
+  active().rotator_emit_block(c, s, dc, ds, n, cos_out, sin_out);
+}
+
+const char* backend() noexcept { return active().name; }
+
+}  // namespace sh::util::detmath

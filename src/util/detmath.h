@@ -1,0 +1,84 @@
+// Deterministic, vectorizable elementary-function kernels (sin/cos/exp).
+//
+// Why this exists: the block trace-generation kernel (DESIGN.md "Block trace
+// kernel") evaluates fading sinusoids and logistic delivery probabilities
+// over whole slot arrays. libm's scalar sin/cos cannot be batched without
+// changing results (vector math libraries carry multi-ulp tolerances), so
+// the repo owns one implementation with a hard contract:
+//
+//   * element determinism — for every input x, every entry point (scalar
+//     call, batch call, any backend, any compiler vectorization width)
+//     produces the identical IEEE-754 double. The per-element operation
+//     sequence is written once in detmath_kernels.h with every fused
+//     multiply-add spelled std::fma, and the backend translation units
+//     compile with -ffp-contract=off, so no backend can fuse or reorder
+//     differently from another.
+//   * accuracy — faithfully rounded (error < 1 ulp) over the supported
+//     argument range; arguments outside it (|x| > 2^26 for sin/cos,
+//     |x| > 700 for exp, NaN/inf) fall back to libm per element, applied
+//     identically by every entry point.
+//
+// Backends: a portable one (baseline ISA) and, on x86-64 builds whose
+// compiler supports it, an AVX2+FMA one that the autovectorizer turns into
+// 4-wide loops. Backend choice is a pure speed decision made once per
+// process via CPU detection; it can never change a result bit.
+#pragma once
+
+#include <cstddef>
+
+namespace sh::util::detmath {
+
+/// Scalar forms. dsin/dcos/dexp are drop-in replacements for std::sin,
+/// std::cos, std::exp wherever trace generation needs batchability.
+double dsin(double x) noexcept;
+double dcos(double x) noexcept;
+double dexp(double x) noexcept;
+/// Both coordinates of the same angle; bit-identical to {dsin(x), dcos(x)}.
+void dsincos(double x, double& sin_out, double& cos_out) noexcept;
+
+/// Batch forms: out[i] is bit-identical to the scalar call on x[i].
+void sin_n(const double* x, std::size_t n, double* out) noexcept;
+void cos_n(const double* x, std::size_t n, double* out) noexcept;
+void exp_n(const double* x, std::size_t n, double* out) noexcept;
+void sincos_n(const double* x, std::size_t n, double* sin_out,
+              double* cos_out) noexcept;
+
+/// Fused fading-path accumulator, the hot inner kernel of gain_db:
+///   theta  = omega * tau[i]          (one rounding, never contracted)
+///   gi[i] += dcos(theta + phase_i)
+///   gq[i] += dcos(theta + phase_q)
+/// Matches FadingProcess::gain_db's per-slot arithmetic exactly; the scalar
+/// path calls it with n = 1.
+void fade_path_accumulate_n(const double* tau, std::size_t n, double omega,
+                            double phase_i, double phase_q, double* gi,
+                            double* gq) noexcept;
+
+/// Fused sinusoid accumulator, the shadowing inner kernel:
+///   acc[i] += amp * dsin(omega * x[i] + phase)
+/// with `omega * x[i]` and `+ phase` rounded separately, matching
+/// ShadowingProcess::offset_db's per-component arithmetic.
+void sinusoid_accumulate_n(const double* x, std::size_t n, double amp,
+                           double omega, double phase, double* acc) noexcept;
+
+/// Fast-trace rotation kernels (approximate path only — never used by the
+/// exact block kernel). `m` unit rotators with states (c[p], s[p]) and
+/// per-step rotation (dc[p], ds[p]): for each of `n` steps, out[k] gets the
+/// sum of the current cos-states (in lane order p = 0..m-1), then every
+/// rotator advances one step. Deterministic across backends like the rest
+/// of detmath, but *approximate* versus re-evaluating dcos at each angle:
+/// the recurrence drifts by O(n * eps), which is why callers re-seed the
+/// states from dsincos at every block boundary.
+void rotator_sum_block(double* c, double* s, const double* dc,
+                       const double* ds, std::size_t m, std::size_t n,
+                       double* out) noexcept;
+
+/// Single rotator variant emitting both coordinates per step: cos_out[k] /
+/// sin_out[k] get the state *before* the k-th advance.
+void rotator_emit_block(double& c, double& s, double dc, double ds,
+                        std::size_t n, double* cos_out,
+                        double* sin_out) noexcept;
+
+/// Name of the active backend ("avx2" or "portable"), for logs and tests.
+const char* backend() noexcept;
+
+}  // namespace sh::util::detmath

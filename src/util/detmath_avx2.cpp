@@ -1,0 +1,16 @@
+// AVX2+FMA detmath backend: the same kernels as the portable TU, compiled
+// with -mavx2 -mfma (and still -ffp-contract=off) so the autovectorizer
+// emits 4-wide loops. Bit-identical to the portable backend by the
+// detmath_kernels.h contract — every fused operation is an explicit
+// std::fma in the shared source. Only reached after runtime CPU detection.
+#define SH_DETMATH_BACKEND avx2
+
+#include "util/detmath_kernels.h"
+
+namespace sh::util::detmath::internal {
+
+const Vtable& avx2_vtable() noexcept {
+  return sh::util::detmath::avx2::vtable("avx2");
+}
+
+}  // namespace sh::util::detmath::internal

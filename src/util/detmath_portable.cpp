@@ -1,0 +1,13 @@
+// Portable (baseline-ISA) detmath backend. Compiled with -ffp-contract=off;
+// see detmath_kernels.h for the shared per-element cores.
+#define SH_DETMATH_BACKEND portable
+
+#include "util/detmath_kernels.h"
+
+namespace sh::util::detmath::internal {
+
+const Vtable& portable_vtable() noexcept {
+  return sh::util::detmath::portable::vtable("portable");
+}
+
+}  // namespace sh::util::detmath::internal

@@ -1,0 +1,450 @@
+// The `kernel` tier: everything that pins the block trace-generation kernel
+// (DESIGN.md "Block trace kernel") to its scalar reference.
+//
+//  * differential — generate_trace_block must be bit-identical to
+//    generate_trace_scalar: every true-SNR double compared with ==, plus an
+//    FNV-1a hash of the serialized trace, across all environments x
+//    static/mobile/vehicular, odd block sizes, and trace lengths straddling
+//    block boundaries (0 / 1 / block-1 / block+1 slots).
+//  * property — >= 100 randomized mobility layouts (phase edges landing
+//    mid-block on purpose): BlockSampler::sample_n must equal
+//    Cursor::snr_db_at / moving_at bit-exactly for every slot midpoint.
+//  * statistical — the opt-in --fast-trace rotator path is NOT bit-exact;
+//    over >= 64 seeds its delivery rate, SNR mean/variance, and fade
+//    durations must sit inside tolerance bands, and it must never be able
+//    to masquerade as a golden-pinned artifact (different cache key, off by
+//    default).
+//  * detmath — scalar call == batch call for every kernel the block path
+//    uses, including the n = 1 degenerate batch.
+//  * snr model — best_rate_for_snr's hoisted frame-length shift must agree
+//    with per-rate delivery_probability, and DeliveryModel (scalar and
+//    batched) must reproduce delivery_probability bit-exactly.
+//
+// CI runs this tier under ASan/UBSan and TSan (`ctest -L
+// 'unit|fault|vanet|kernel'`).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/snr_model.h"
+#include "channel/trace_cache.h"
+#include "channel/trace_generator.h"
+#include "sim/mobility.h"
+#include "util/detmath.h"
+#include "util/rng.h"
+
+namespace sh::channel {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string serialized(const PacketFateTrace& trace) {
+  std::ostringstream os;
+  trace.save(os);
+  return os.str();
+}
+
+constexpr Environment kAllEnvironments[] = {
+    Environment::kOffice, Environment::kHallway, Environment::kOutdoor,
+    Environment::kVehicular};
+
+const char* env_name(Environment env) {
+  switch (env) {
+    case Environment::kOffice: return "office";
+    case Environment::kHallway: return "hallway";
+    case Environment::kOutdoor: return "outdoor";
+    case Environment::kVehicular: return "vehicular";
+  }
+  return "?";
+}
+
+enum class Mobility { kStatic, kMobile, kVehicular };
+
+TraceGeneratorConfig kernel_config(Environment env, Mobility mob,
+                                   Duration total, std::uint64_t seed = 77) {
+  TraceGeneratorConfig cfg;
+  cfg.env = env;
+  switch (mob) {
+    case Mobility::kStatic:
+      cfg.scenario = sim::MobilityScenario::all_static(total);
+      break;
+    case Mobility::kMobile:
+      cfg.scenario = sim::MobilityScenario::all_walking(total);
+      break;
+    case Mobility::kVehicular:
+      cfg.scenario = sim::MobilityScenario::all_vehicle(total);
+      break;
+  }
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The differential core: block kernel vs scalar reference for one config
+/// and block size. Every true-SNR double must be the same bits (EXPECT_EQ
+/// on doubles is exact), and the serialized traces must hash identically.
+void expect_block_matches_scalar(const TraceGeneratorConfig& cfg,
+                                 std::size_t block_slots,
+                                 const std::string& what) {
+  std::vector<double> scalar_snr;
+  std::vector<double> block_snr;
+  const auto scalar = generate_trace_scalar(cfg, &scalar_snr);
+  const auto block = generate_trace_block(cfg, block_slots, &block_snr);
+  ASSERT_EQ(scalar.size(), block.size()) << what;
+  ASSERT_EQ(scalar_snr.size(), block_snr.size()) << what;
+  for (std::size_t i = 0; i < scalar_snr.size(); ++i) {
+    ASSERT_EQ(scalar_snr[i], block_snr[i])
+        << what << ": true-SNR double diverges at slot " << i;
+  }
+  EXPECT_EQ(fnv1a(serialized(scalar)), fnv1a(serialized(block)))
+      << what << ": serialized trace hash diverges";
+}
+
+// ---------------------------------------------------------------------------
+// Differential: block == scalar, bit for bit.
+
+TEST(TraceKernelDifferentialTest, AllEnvironmentsAndMobilities) {
+  for (const Environment env : kAllEnvironments) {
+    for (const Mobility mob :
+         {Mobility::kStatic, Mobility::kMobile, Mobility::kVehicular}) {
+      const auto cfg = kernel_config(env, mob, 4 * kSecond);
+      expect_block_matches_scalar(
+          cfg, kDefaultTraceBlockSlots,
+          std::string(env_name(env)) + "/" +
+              std::to_string(static_cast<int>(mob)));
+    }
+  }
+}
+
+TEST(TraceKernelDifferentialTest, BlockSizeCannotChangeOutput) {
+  // Mixed scenario so phase edges land mid-block for every size, plus
+  // vehicular for the distance-checkpoint walk.
+  for (const std::size_t block_slots : {std::size_t{1}, std::size_t{7},
+                                        std::size_t{256}, std::size_t{4093}}) {
+    auto cfg = kernel_config(Environment::kOffice, Mobility::kStatic,
+                             3 * kSecond);
+    cfg.scenario = sim::MobilityScenario::static_then_walking(3 * kSecond);
+    expect_block_matches_scalar(cfg, block_slots,
+                                "office/mixed block=" +
+                                    std::to_string(block_slots));
+    const auto veh = kernel_config(Environment::kVehicular,
+                                   Mobility::kVehicular, 3 * kSecond);
+    expect_block_matches_scalar(
+        veh, block_slots, "vehicular block=" + std::to_string(block_slots));
+  }
+}
+
+TEST(TraceKernelDifferentialTest, TraceLengthEdges) {
+  // Slot counts straddling the default block boundary: 0 (duration shorter
+  // than one slot), 1, block-1, block+1. A trailing partial slot is
+  // truncated by contract, so length is floor(total / slot).
+  const Duration slot = 5 * kMillisecond;
+  const std::size_t b = kDefaultTraceBlockSlots;
+  for (const std::size_t slots : {std::size_t{0}, std::size_t{1}, b - 1,
+                                  b + 1}) {
+    const Duration total =
+        slots == 0 ? 2 * kMillisecond
+                   : static_cast<Duration>(slots) * slot + 2 * kMillisecond;
+    const auto cfg =
+        kernel_config(Environment::kOffice, Mobility::kMobile, total);
+    std::vector<double> snr;
+    const auto trace = generate_trace_block(cfg, b, &snr);
+    ASSERT_EQ(trace.size(), slots);
+    ASSERT_EQ(snr.size(), slots);
+    expect_block_matches_scalar(cfg, b, "len=" + std::to_string(slots));
+  }
+}
+
+TEST(TraceKernelDifferentialTest, DefaultGenerateTraceIsTheBlockKernel) {
+  // generate_trace must be the block kernel at the default size — and
+  // therefore, transitively, bit-identical to the scalar reference. This is
+  // the test that lets the golden pins stay untouched while the kernel
+  // underneath them changed.
+  const auto cfg = kernel_config(Environment::kOffice, Mobility::kMobile,
+                                 4 * kSecond, 12345);
+  EXPECT_EQ(serialized(generate_trace(cfg)),
+            serialized(generate_trace_block(cfg, kDefaultTraceBlockSlots)));
+  EXPECT_EQ(serialized(generate_trace(cfg)),
+            serialized(generate_trace_scalar(cfg)));
+}
+
+// ---------------------------------------------------------------------------
+// Property: randomized mobility layouts, BlockSampler == Cursor bit-exactly.
+
+TEST(TraceKernelPropertyTest, RandomSegmentLayoutsMatchCursorBitExactly) {
+  // 100+ randomized layouts. Phase durations are drawn in raw microseconds
+  // (not slot multiples), so phase, Doppler, shadow, and checkpoint edges
+  // land mid-slot and mid-block — the worst case for the span-slicing walk.
+  util::Rng rng(0xB10CC0DEULL);
+  constexpr int kLayouts = 120;
+  for (int layout = 0; layout < kLayouts; ++layout) {
+    const auto env = kAllEnvironments[static_cast<std::size_t>(
+        rng.uniform_int(0, 3))];
+    const int num_phases = static_cast<int>(rng.uniform_int(1, 6));
+    std::vector<sim::MobilityPhase> phases;
+    phases.reserve(static_cast<std::size_t>(num_phases));
+    for (int p = 0; p < num_phases; ++p) {
+      sim::MobilityPhase phase;
+      phase.duration = rng.uniform_int(1, 900 * kMillisecond);
+      const int state = static_cast<int>(rng.uniform_int(0, 2));
+      phase.state = static_cast<sim::MotionState>(state);
+      phase.speed_mps = phase.state == sim::MotionState::kStatic
+                            ? 0.0
+                            : rng.uniform(0.5, 20.0);
+      phases.push_back(phase);
+    }
+    const ChannelRealization channel(env, sim::MobilityScenario(phases),
+                                     rng(), DriveByGeometry{},
+                                     rng.uniform(-3.0, 3.0));
+    ChannelRealization::Cursor cursor(channel);
+    ChannelRealization::BlockSampler sampler(channel);
+
+    const Duration slot = 5 * kMillisecond;
+    const auto n = static_cast<std::size_t>(
+        channel.scenario().total_duration() / slot);
+    if (n == 0) continue;
+    std::vector<Time> mid(n);
+    std::vector<double> snr(n);
+    std::vector<unsigned char> moving(n);  // bool storage ASan can index.
+    for (std::size_t k = 0; k < n; ++k) {
+      mid[k] = static_cast<Time>(k) * slot + slot / 2;
+    }
+    sampler.sample_n(mid.data(), n,  snr.data(),
+                     reinterpret_cast<bool*>(moving.data()));
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(cursor.snr_db_at(mid[k]), snr[k])
+          << "layout " << layout << " env " << env_name(env) << " slot " << k;
+      ASSERT_EQ(cursor.moving_at(mid[k]), moving[k] != 0)
+          << "layout " << layout << " slot " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statistical: the --fast-trace rotator path.
+
+struct TraceMoments {
+  double delivery = 0.0;   ///< Delivery ratio at a mid-table rate.
+  double snr_mean = 0.0;
+  double snr_var = 0.0;
+  double fade_slots = 0.0; ///< Mean length of below-mean SNR runs.
+};
+
+TraceMoments moments(const PacketFateTrace& trace) {
+  TraceMoments m;
+  const std::size_t n = trace.size();
+  if (n == 0) return m;
+  m.delivery = trace.delivery_ratio(3);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += trace.slot(i).snr_db;
+  m.snr_mean = sum / static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = trace.slot(i).snr_db - m.snr_mean;
+    var += d * d;
+  }
+  m.snr_var = var / static_cast<double>(n);
+  // Fade durations: maximal runs of slots below the trace's own mean SNR.
+  std::size_t runs = 0;
+  std::size_t faded = 0;
+  bool in_run = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool below = trace.slot(i).snr_db < m.snr_mean;
+    if (below) {
+      ++faded;
+      if (!in_run) ++runs;
+    }
+    in_run = below;
+  }
+  m.fade_slots = runs > 0 ? static_cast<double>(faded) /
+                                static_cast<double>(runs)
+                          : 0.0;
+  return m;
+}
+
+TEST(FastTraceStatisticalTest, EquivalentMomentsOver64Seeds) {
+  // The rotator path re-seeds from dsincos at every block boundary, so its
+  // drift from the exact kernel is O(block * eps) per block — far below the
+  // channel's own variability. The bands below are therefore deliberately
+  // tight: delivery within 1 percentage point, SNR mean within 0.1 dB,
+  // SNR variance and mean fade duration within 5%, all as aggregates over
+  // 64 seeds of a mobile office trace. Widen them only with evidence that
+  // the approximation (not a bug) moved a moment.
+  constexpr int kSeeds = 64;
+  TraceMoments exact_sum, fast_sum;
+  for (int s = 0; s < kSeeds; ++s) {
+    auto cfg = kernel_config(Environment::kOffice, Mobility::kMobile,
+                             4 * kSecond, 1000 + static_cast<std::uint64_t>(s));
+    const auto exact = moments(generate_trace(cfg));
+    cfg.fast_trace = true;
+    const auto fast = moments(generate_trace(cfg));
+    exact_sum.delivery += exact.delivery;
+    exact_sum.snr_mean += exact.snr_mean;
+    exact_sum.snr_var += exact.snr_var;
+    exact_sum.fade_slots += exact.fade_slots;
+    fast_sum.delivery += fast.delivery;
+    fast_sum.snr_mean += fast.snr_mean;
+    fast_sum.snr_var += fast.snr_var;
+    fast_sum.fade_slots += fast.fade_slots;
+  }
+  const double k = 1.0 / kSeeds;
+  EXPECT_NEAR(fast_sum.delivery * k, exact_sum.delivery * k, 0.01);
+  EXPECT_NEAR(fast_sum.snr_mean * k, exact_sum.snr_mean * k, 0.1);
+  EXPECT_NEAR(fast_sum.snr_var * k, exact_sum.snr_var * k,
+              0.05 * exact_sum.snr_var * k);
+  EXPECT_NEAR(fast_sum.fade_slots * k, exact_sum.fade_slots * k,
+              0.05 * exact_sum.fade_slots * k);
+}
+
+TEST(FastTraceGuardTest, CannotReachGoldenPinnedArtifacts) {
+  // Three independent fences between --fast-trace and the golden pins:
+  // it is off by default (golden tests construct default configs), it keys
+  // differently in the trace cache (a fast trace can never be handed to a
+  // caller that asked for an exact one), and its true-SNR stream really is
+  // a different bit pattern (the approximation is not a silent no-op, so a
+  // mislabeled fast trace cannot hide behind hash equality).
+  EXPECT_FALSE(TraceGeneratorConfig{}.fast_trace);
+
+  auto cfg = kernel_config(Environment::kOffice, Mobility::kMobile,
+                           4 * kSecond, 12345);
+  const std::string exact_key = trace_config_key(cfg);
+  cfg.fast_trace = true;
+  EXPECT_NE(trace_config_key(cfg), exact_key);
+
+  std::vector<double> fast_snr;
+  generate_trace_block(cfg, kDefaultTraceBlockSlots, &fast_snr);
+  cfg.fast_trace = false;
+  std::vector<double> exact_snr;
+  generate_trace_block(cfg, kDefaultTraceBlockSlots, &exact_snr);
+  ASSERT_EQ(fast_snr.size(), exact_snr.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < exact_snr.size(); ++i) {
+    if (exact_snr[i] != fast_snr[i]) ++differing;
+  }
+  EXPECT_GT(differing, 0U);
+}
+
+// ---------------------------------------------------------------------------
+// detmath: scalar == batch for every kernel the block path leans on.
+
+TEST(DetmathConsistencyTest, BatchFormsMatchScalarBitExactly) {
+  util::Rng rng(0xDE7E57ULL);
+  constexpr std::size_t kN = 4096;
+  std::vector<double> x(kN), s_batch(kN), c_batch(kN), e_batch(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    // Mix in-range, out-of-range (libm fallback), and sign-edge inputs so
+    // both the fast loop and the guarded per-element loop are exercised.
+    switch (i % 5) {
+      case 0: x[i] = rng.uniform(-100.0, 100.0); break;
+      case 1: x[i] = rng.uniform(-1e8, 1e8); break;  // beyond kTrigBound
+      case 2: x[i] = rng.uniform(-700.0, 700.0); break;
+      case 3: x[i] = rng.uniform(-1e-12, 1e-12); break;
+      default: x[i] = (i % 2 == 0) ? 0.0 : -0.0; break;
+    }
+  }
+  util::detmath::sin_n(x.data(), kN, s_batch.data());
+  util::detmath::cos_n(x.data(), kN, c_batch.data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(util::detmath::dsin(x[i]), s_batch[i]) << "x=" << x[i];
+    ASSERT_EQ(util::detmath::dcos(x[i]), c_batch[i]) << "x=" << x[i];
+    double si = 0.0, ci = 0.0;
+    util::detmath::dsincos(x[i], si, ci);
+    ASSERT_EQ(si, s_batch[i]);
+    ASSERT_EQ(ci, c_batch[i]);
+  }
+  std::vector<double> xe(kN);
+  for (std::size_t i = 0; i < kN; ++i) xe[i] = rng.uniform(-750.0, 750.0);
+  util::detmath::exp_n(xe.data(), kN, e_batch.data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(util::detmath::dexp(xe[i]), e_batch[i]) << "x=" << xe[i];
+  }
+}
+
+TEST(DetmathConsistencyTest, AccumulatorsMatchSingleSlotForm) {
+  // fade_path_accumulate_n / sinusoid_accumulate_n with n = 1 must equal
+  // the batched call element-wise — that identity is exactly why the scalar
+  // gain_db/offset_db paths and the block kernel agree.
+  util::Rng rng(0xACC5ULL);
+  constexpr std::size_t kN = 513;
+  std::vector<double> tau(kN);
+  for (std::size_t i = 0; i < kN; ++i) tau[i] = rng.uniform(0.0, 50.0);
+  const double omega = rng.uniform(0.1, 60.0);
+  const double pi = rng.uniform(0.0, 6.28);
+  const double pq = pi + 1.5707963267948966;
+  std::vector<double> gi_b(kN, 0.25), gq_b(kN, -0.5);
+  std::vector<double> gi_s(kN, 0.25), gq_s(kN, -0.5);
+  util::detmath::fade_path_accumulate_n(tau.data(), kN, omega, pi, pq,
+                                        gi_b.data(), gq_b.data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    util::detmath::fade_path_accumulate_n(&tau[i], 1, omega, pi, pq, &gi_s[i],
+                                          &gq_s[i]);
+    ASSERT_EQ(gi_s[i], gi_b[i]) << "tau=" << tau[i];
+    ASSERT_EQ(gq_s[i], gq_b[i]) << "tau=" << tau[i];
+  }
+  std::vector<double> acc_b(kN, 1.0), acc_s(kN, 1.0);
+  util::detmath::sinusoid_accumulate_n(tau.data(), kN, 2.5, omega, pi,
+                                       acc_b.data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    util::detmath::sinusoid_accumulate_n(&tau[i], 1, 2.5, omega, pi,
+                                         &acc_s[i]);
+    ASSERT_EQ(acc_s[i], acc_b[i]) << "x=" << tau[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SNR model: the hoisted length shift and the batched delivery model.
+
+TEST(SnrModelTest, BestRateMatchesPerRateProbabilities) {
+  // Pin for the best_rate_for_snr refactor (the frame-length log2 is now
+  // hoisted out of the rate loop): the selected rate must still be exactly
+  // "highest rate whose delivery_probability >= target, else slowest", with
+  // the probabilities taken from delivery_probability itself.
+  for (const int payload : {200, 1000, 1500}) {
+    for (const double target : {0.5, 0.9}) {
+      for (double snr = -5.0; snr <= 40.0; snr += 0.25) {
+        mac::RateIndex expected = mac::slowest_rate();
+        for (mac::RateIndex r = mac::fastest_rate(); r > mac::slowest_rate();
+             --r) {
+          if (delivery_probability(snr, r, payload) >= target) {
+            expected = r;
+            break;
+          }
+        }
+        ASSERT_EQ(best_rate_for_snr(snr, target, payload), expected)
+            << "snr=" << snr << " payload=" << payload << " target=" << target;
+      }
+    }
+  }
+}
+
+TEST(SnrModelTest, DeliveryModelMatchesScalarBitExactly) {
+  for (const int payload : {200, 1000, 1500}) {
+    const DeliveryModel model(payload);
+    std::vector<double> snr;
+    for (double v = -10.0; v <= 45.0; v += 0.125) snr.push_back(v);
+    std::vector<double> probs(snr.size()), scratch(snr.size());
+    for (mac::RateIndex r = 0; r < mac::kNumRates; ++r) {
+      model.probabilities_n(snr.data(), snr.size(), r, probs.data(),
+                            scratch.data());
+      for (std::size_t i = 0; i < snr.size(); ++i) {
+        ASSERT_EQ(model.probability(snr[i], r), probs[i])
+            << "snr=" << snr[i] << " rate=" << static_cast<int>(r);
+        ASSERT_EQ(delivery_probability(snr[i], r, payload), probs[i])
+            << "snr=" << snr[i] << " rate=" << static_cast<int>(r);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sh::channel

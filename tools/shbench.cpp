@@ -56,6 +56,10 @@ struct Options {
   std::string out_path;
   std::string check_baseline;
   std::string check_current;
+  /// Benchmarks whose name contains this substring hard-fail --check (rc 2,
+  /// not the advisory rc 3) when they regress: CI treats a block-kernel
+  /// slowdown as a broken build, not a flaky-timer warning.
+  std::string check_hard;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -72,7 +76,10 @@ struct Options {
       "  --check BASE CUR  compare two result files instead of running;\n"
       "                    exit 0 ok, 2 not comparable (schema/name set/\n"
       "                    config hash/smoke mismatch), 3 ns/op regression\n"
-      "                    beyond 15%%\n",
+      "                    beyond 15%%\n"
+      "  --check-hard SUBSTR  with --check: a regression in a benchmark whose\n"
+      "                    name contains SUBSTR exits 2 (hard failure)\n"
+      "                    instead of 3\n",
       argv0);
   std::exit(code);
 }
@@ -104,6 +111,8 @@ Options parse(int argc, char** argv) {
       }
       o.check_baseline = argv[++i];
       o.check_current = argv[++i];
+    } else if ((v = arg("--check-hard")) != nullptr) {
+      o.check_hard = v;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       o.smoke = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -213,6 +222,26 @@ BenchResult bench_trace_gen_cold(const Options& o, channel::Environment env,
   const double slots = static_cast<double>(generate_trace(cfg).size());
   auto r = measure(o, slots, [&cfg] {
     g_sink = channel::generate_trace(cfg).delivery_ratio(0);
+  });
+  r.config_hash = channel::trace_config_hash(cfg);
+  return r;
+}
+
+/// The block kernel measured directly: generate_trace_block at the default
+/// block size, exact mode or (for the *_fast variant) the opt-in rotator
+/// fast path. The exact variants are bit-identical to trace_gen_cold's
+/// output — the separate name exists so CI can hard-gate the kernel with
+/// --check-hard trace_gen_block while the rest of the suite stays advisory.
+BenchResult bench_trace_gen_block(const Options& o, channel::Environment env,
+                                  bool mobile, bool fast) {
+  auto cfg = trace_cfg(env, mobile, trace_seconds(o));
+  cfg.fast_trace = fast;
+  const double slots = static_cast<double>(
+      channel::generate_trace_block(cfg, channel::kDefaultTraceBlockSlots)
+          .size());
+  auto r = measure(o, slots, [&cfg] {
+    g_sink = channel::generate_trace_block(cfg, channel::kDefaultTraceBlockSlots)
+                 .delivery_ratio(0);
   });
   r.config_hash = channel::trace_config_hash(cfg);
   return r;
@@ -353,6 +382,22 @@ std::vector<BenchDef> all_benchmarks() {
   defs.push_back({"trace_gen_cold/vehicular/mobile", [](const Options& o) {
                     return bench_trace_gen_cold(o, Environment::kVehicular, true);
                   }});
+  defs.push_back({"trace_gen_block/office/static", [](const Options& o) {
+                    return bench_trace_gen_block(o, Environment::kOffice, false,
+                                                 /*fast=*/false);
+                  }});
+  defs.push_back({"trace_gen_block/office/mobile", [](const Options& o) {
+                    return bench_trace_gen_block(o, Environment::kOffice, true,
+                                                 /*fast=*/false);
+                  }});
+  defs.push_back({"trace_gen_block/vehicular/mobile", [](const Options& o) {
+                    return bench_trace_gen_block(o, Environment::kVehicular,
+                                                 true, /*fast=*/false);
+                  }});
+  defs.push_back({"trace_gen_block/office/mobile_fast", [](const Options& o) {
+                    return bench_trace_gen_block(o, Environment::kOffice, true,
+                                                 /*fast=*/true);
+                  }});
   defs.push_back({"sweep_points/office", bench_sweep_points});
   for (const char* adapter :
        {"hint_aware", "rapid_sample", "sample_rate", "rraa"}) {
@@ -474,7 +519,8 @@ ParsedFile parse_bench_file(const std::string& path) {
 
 constexpr double kRegressionTolerance = 0.15;
 
-int run_check(const std::string& baseline_path, const std::string& current_path) {
+int run_check(const std::string& baseline_path, const std::string& current_path,
+              const std::string& hard_substr) {
   const ParsedFile base = parse_bench_file(baseline_path);
   const ParsedFile cur = parse_bench_file(current_path);
   // Name the file and the failure: "the baseline is gone" and "the baseline
@@ -536,18 +582,32 @@ int run_check(const std::string& baseline_path, const std::string& current_path)
   if (mismatch) return 2;
 
   int regressions = 0;
+  int hard_regressions = 0;
   for (const auto& [name, entry] : base.entries) {
     const auto& now = cur.entries.at(name);
     const double ratio = entry.result.ns_op > 0.0
                              ? now.result.ns_op / entry.result.ns_op
                              : 1.0;
-    const char* verdict = ratio > 1.0 + kRegressionTolerance ? "REGRESSED"
+    const bool regressed = ratio > 1.0 + kRegressionTolerance;
+    const bool hard = regressed && !hard_substr.empty() &&
+                      name.find(hard_substr) != std::string::npos;
+    const char* verdict = hard                                 ? "REGRESSED (hard)"
+                          : regressed                          ? "REGRESSED"
                           : ratio < 1.0 - kRegressionTolerance ? "improved"
                                                                : "ok";
     std::fprintf(stderr, "  %-32s %10.1f -> %10.1f ns/op  (%+5.1f%%)  %s\n",
                  name.c_str(), entry.result.ns_op, now.result.ns_op,
                  (ratio - 1.0) * 100.0, verdict);
-    if (ratio > 1.0 + kRegressionTolerance) ++regressions;
+    if (regressed) ++regressions;
+    if (hard) ++hard_regressions;
+  }
+  if (hard_regressions > 0) {
+    std::fprintf(stderr,
+                 "shbench --check: %d benchmark(s) matching --check-hard '%s' "
+                 "regressed >%.0f%% — hard failure\n",
+                 hard_regressions, hard_substr.c_str(),
+                 kRegressionTolerance * 100.0);
+    return 2;
   }
   if (regressions > 0) {
     std::fprintf(stderr, "shbench --check: %d benchmark(s) regressed >%.0f%%\n",
@@ -563,7 +623,7 @@ int run_check(const std::string& baseline_path, const std::string& current_path)
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   if (!o.check_baseline.empty()) {
-    return run_check(o.check_baseline, o.check_current);
+    return run_check(o.check_baseline, o.check_current, o.check_hard);
   }
 
   const auto defs = all_benchmarks();

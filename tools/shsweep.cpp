@@ -63,6 +63,10 @@ struct Options {
   /// the single --hint-max-age-ms value with unchanged labels and seeding.
   std::vector<double> hint_max_age_list;
   bool trace_cache = true;
+  /// Opt-in approximate fading (TraceGeneratorConfig::fast_trace). Output
+  /// is still deterministic for a given config but NOT byte-identical to
+  /// the default sweep JSON — never use for golden comparisons.
+  bool fast_trace = false;
   /// Non-empty switches shsweep into the VANET mode: one point per vehicle
   /// count, sweeping city-scale mobility + link statistics instead of the
   /// channel grid.
@@ -103,6 +107,10 @@ struct Options {
       "  --trace-cache on|off\n"
       "                   memoize generated traces across sweep points\n"
       "                   (default on; results are identical either way)\n"
+      "  --fast-trace     approximate fading kernel (rotator recurrence):\n"
+      "                   several times faster generation, statistically\n"
+      "                   equivalent but not bit-identical to the default —\n"
+      "                   do not use where byte-stable JSON is required\n"
       "  --vanet-vehicles LIST\n"
       "                   comma list of vehicle counts; sweeps the city-scale\n"
       "                   VANET simulation (one point per count, labels\n"
@@ -246,6 +254,8 @@ Options parse(int argc, char** argv) {
       if (o.kill_after == 0) {
         cli::fail(kTool, "--kill-after-records: value must be >= 1");
       }
+    } else if (std::strcmp(argv[i], "--fast-trace") == 0) {
+      o.fast_trace = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       o.quiet = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -516,6 +526,7 @@ int main(int argc, char** argv) {
             static_cast<std::uint64_t>(ctx.repetition);
         cfg.seed = util::Rng::derive_seed(o.base_seed, trace_run_index);
         cfg.snr_offset_db = offset_db(cell.offset);
+        cfg.fast_trace = o.fast_trace;
         const auto trace_ptr =
             o.trace_cache ? channel::generate_trace_cached(cfg)
                           : std::make_shared<const channel::PacketFateTrace>(
