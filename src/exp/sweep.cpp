@@ -142,7 +142,9 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn,
     samples[i] = rec.sample;
     statuses[i] = rec.status;
     // Journal the completed repetition before moving on: once the append
-    // returns, this run survives any later kill.
+    // returns, this run survives any later kill.  shlint:shard-safe —
+    // append() serializes internally, and replay keys records by run
+    // index, so on-disk append order never reaches an output.
     if (opts.journal != nullptr) opts.journal->append(rec);
   });
   const auto t1 = std::chrono::steady_clock::now();  // shlint:allow(D1)

@@ -126,7 +126,8 @@ inline SinCos sincos_core(double x) noexcept {
   pc = std::fma(pc, z, kC2);
   pc = std::fma(pc, z, kC1);
   // fdlibm's compensated 1 - z/2 + z^2*pc: (1 - w) - hz recovers the
-  // rounding error of w = 1 - hz exactly.
+  // rounding error of w = 1 - hz exactly.  Every add here is deliberately
+  // unfused — fusing (z*z)*pc into the sum would change cr in the last ulp.
   const double hz = 0.5 * z;
   const double w = 1.0 - hz;
   const double cr = w + (((1.0 - w) - hz) + (z * z) * pc);
@@ -309,11 +310,14 @@ inline void sinusoid_accumulate_n_b(const double* x, std::size_t n, double amp,
   if (x_fast_bound > 0.0 && count_out_of_range(xs, n, x_fast) == 0) {
     for (std::size_t i = 0; i < n; ++i) {
       const double theta = omega * xs[i];
+      // Accumulate unfused: amp*sin rounds once before the add, exactly
+      // as the scalar reference path does.
       as[i] += amp * sincos_core(theta + phase).s;
     }
   } else {
     for (std::size_t i = 0; i < n; ++i) {
       const double theta = omega * xs[i];
+      // Same unfused accumulate as the fast path above.
       as[i] += amp * dsin_s(theta + phase);
     }
   }
@@ -332,6 +336,8 @@ inline void rotator_sum_block_b(double* c, double* s, const double* dc,
     for (std::size_t p = 0; p < m; ++p) acc += cs[p];
     os[k] = acc;
     for (std::size_t p = 0; p < m; ++p) {
+      // Givens step, deliberately unfused: each product rounds before the
+      // add/sub so the rotation matches the scalar recurrence bit-for-bit.
       const double nc = cs[p] * dcs[p] - ss[p] * dss[p];
       const double ns = ss[p] * dcs[p] + cs[p] * dss[p];
       cs[p] = nc;
@@ -350,6 +356,7 @@ inline void rotator_emit_block_b(double& c, double& s, double dc, double ds,
   for (std::size_t k = 0; k < n; ++k) {
     co[k] = cc;
     so[k] = sc;
+    // Same deliberately unfused Givens step as rotator_sum_block_b.
     const double nc = cc * dc - sc * ds;
     const double ns = sc * dc + cc * ds;
     cc = nc;

@@ -6,7 +6,9 @@
 namespace sh::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Process-wide log threshold — diagnostics only, never read by anything
+// that lands in an output artifact.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};  // shlint:allow(T1)
 
 const char* tag(LogLevel level) {
   switch (level) {

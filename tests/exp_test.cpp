@@ -47,6 +47,7 @@ TEST(ThreadPoolTest, SingleThreadRunsInline) {
 TEST(ThreadPoolTest, MoreThreadsThanTasks) {
   ThreadPool pool(8);
   std::atomic<int> sum{0};
+  // shlint:shard-safe — atomic counter, order-independent.
   pool.parallel_for(3, [&](std::size_t i) { sum += static_cast<int>(i) + 1; });
   EXPECT_EQ(sum.load(), 6);
 }
@@ -55,6 +56,7 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   ThreadPool pool(3);
   for (int batch = 0; batch < 20; ++batch) {
     std::atomic<int> count{0};
+    // shlint:shard-safe — atomic counter, order-independent.
     pool.parallel_for(17, [&](std::size_t) { ++count; });
     ASSERT_EQ(count.load(), 17);
   }
@@ -74,6 +76,7 @@ TEST(ThreadPoolTest, ExceptionPropagatesAndBatchStillDrains) {
   for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
   // The pool survives for the next batch.
   std::atomic<int> count{0};
+  // shlint:shard-safe — atomic counter, order-independent.
   pool.parallel_for(8, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 8);
 }
@@ -81,6 +84,7 @@ TEST(ThreadPoolTest, ExceptionPropagatesAndBatchStillDrains) {
 TEST(ThreadPoolTest, ZeroTasksIsANoOp) {
   ThreadPool pool(2);
   bool ran = false;
+  // shlint:shard-safe — the body must never run; the write is the probe.
   pool.parallel_for(0, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
 }

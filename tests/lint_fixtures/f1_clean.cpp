@@ -1,0 +1,25 @@
+// F1 negatives for a kernel TU: explicit std::fma where fusion is meant,
+// a commented deliberately-unfused site, and index arithmetic (additive
+// ops inside subscripts are integral, never contraction candidates).
+#include <cmath>
+#include <cstddef>
+
+double axpy_point(double a, double x, double y) {
+  return std::fma(a, x, y);
+}
+
+double horner3(double c0, double c1, double c2, double z) {
+  double p = c2;
+  p = std::fma(p, z, c1);
+  p = std::fma(p, z, c0);
+  return p;
+}
+
+double rotate_c(double c, double s, double dc, double ds) {
+  // Deliberately unfused: both products round before the subtract.
+  return c * dc - s * ds;
+}
+
+double stride_gather(const double* xs, std::size_t base, std::size_t k) {
+  return xs[base + k * 4] + 1.0;
+}

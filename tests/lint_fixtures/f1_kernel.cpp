@@ -1,0 +1,18 @@
+// Seeded F1 violations: raw multiply-adds in a (fixture) kernel TU.
+// Run with --layers kernel_layers.txt; lint_test asserts exact lines.
+#include <cstddef>
+
+double axpy_point(double a, double x, double y) {
+  return a * x + y;  // line 6: F1
+}
+
+double residual(double a, double b, double c) {
+  return c - a * b;  // line 10: F1
+}
+
+void axpy_sum(const double* xs, const double* ws, std::size_t n,
+              double* acc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    *acc += xs[i] * ws[i];  // line 16: F1
+  }
+}

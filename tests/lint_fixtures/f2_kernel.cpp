@@ -1,0 +1,7 @@
+// F2 fixture: the TU itself is clean; the defect (when seeded) lives in
+// the compile database handed to shlint via --compile-commands.
+#include <cmath>
+
+double fixture_kernel(double a, double x, double y) {
+  return std::fma(a, x, y);
+}

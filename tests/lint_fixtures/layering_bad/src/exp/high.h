@@ -1,0 +1,4 @@
+// Upper layer of the seeded tree; no violations of its own.
+#pragma once
+
+inline int high_value() { return 2; }

@@ -1,0 +1,4 @@
+// Seeded L3: this module is missing from the fixture manifest.
+#pragma once
+
+inline int rogue_value() { return 3; }

@@ -1,0 +1,6 @@
+// Seeded L2: half of an include cycle inside one module.
+#pragma once
+
+#include "util/b.h"
+
+inline int a_value() { return 1; }

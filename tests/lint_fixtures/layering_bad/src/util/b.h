@@ -1,0 +1,6 @@
+// Seeded L2: the other half of the cycle.
+#pragma once
+
+#include "util/a.h"
+
+inline int b_value() { return 2; }

@@ -1,0 +1,6 @@
+// Seeded L1: a low-layer module reaching up into a higher layer.
+#pragma once
+
+#include "exp/high.h"
+
+inline int low_value() { return high_value() - 1; }

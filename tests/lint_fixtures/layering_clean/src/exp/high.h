@@ -1,0 +1,6 @@
+// Clean counterpart: a legal downward include (exp is above util).
+#pragma once
+
+#include "util/low.h"
+
+inline int high_value() { return low_value() + 1; }

@@ -1,0 +1,4 @@
+// Clean counterpart: the low layer depends on nothing above it.
+#pragma once
+
+inline int low_value() { return 1; }

@@ -1,0 +1,16 @@
+// Lexer regression fixture: the two historical line-desync bugs.  The one
+// real violation at the end pins exact line numbers through both.
+#include <cstdlib>
+
+#define SHOW(x) #x
+
+// 1. Backslash-newline splices the next physical line into this comment \
+std::time_t spliced_away = std::time(nullptr);
+
+// 2. `R"` with an invalid delimiter (the `)` right after it) is NOT a raw
+// string; it lexes as an ordinary string that the quote below rebalances.
+const char* stringized = SHOW(R"); // rebalance: "
+
+int real_violation() {
+  return std::rand();  // line 15: D1 — exact line pins the resync
+}

@@ -1,0 +1,6 @@
+// SARIF golden input: exactly one D1 violation at line 5.
+#include <ctime>
+
+long wall_seconds() {
+  return time(nullptr);  // line 5: D1
+}

@@ -1,0 +1,26 @@
+// T1 negatives: everything here is legal — constants, internal-linkage
+// functions, function-local constants, and one sanctioned escape.
+#include <array>
+#include <string>
+
+constexpr int kLimit = 64;
+const double kScale = 1.5;
+constexpr std::array<int, 3> kTable = {1, 2, 3};
+
+namespace detail {
+inline constexpr char kTag[] = "tag";
+}  // namespace detail
+
+static int helper(int x) { return x + 1; }
+
+struct Widget {
+  int count = 0;
+};
+
+int lookup(int i) {
+  static const std::array<int, 4> kLut = {0, 1, 4, 9};
+  return kLut[static_cast<std::size_t>(i)];
+}
+
+// Deliberate process-wide registry, mutex-guarded by its owner.
+int g_sanctioned = helper(kLimit);  // shlint:allow(T1)

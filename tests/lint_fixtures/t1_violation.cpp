@@ -1,0 +1,24 @@
+// Seeded T1 violations: shared mutable state at namespace scope and a
+// mutable function-local static.  lint_test asserts exact lines.
+#include <string>
+#include <vector>
+
+int g_counter = 0;  // line 6: T1
+
+namespace stats {
+std::vector<double> g_samples;  // line 9: T1
+}  // namespace stats
+
+namespace {
+double g_last_seen = 0.0;  // line 13: T1
+}  // namespace
+
+int next_id() {
+  static int id = 0;  // line 17: T1
+  return ++id;
+}
+
+const std::string& cached_name() {
+  static std::string name = "expensive";  // line 22: T1
+  return name;
+}

@@ -1,0 +1,36 @@
+// T2 negatives: the sanctioned sharded-body shapes — per-shard slots
+// indexed by the task parameter, value captures, body locals, and one
+// justified escape.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+std::vector<double> square_each(Pool& pool, const std::vector<double>& xs) {
+  std::vector<double> out(xs.size());
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    out[i] = xs[i] * xs[i];  // per-shard slot: indexed by the parameter
+  });
+  return out;
+}
+
+void scale_block(Pool& pool, std::vector<double>& xs, double k) {
+  pool.parallel_for(xs.size(), [&xs, k](std::size_t block) {
+    double local = k;       // body local, freely mutable
+    local *= 2.0;
+    xs[block] += local;     // per-shard slot again
+  });
+}
+
+std::size_t count_atomic(Pool& pool, std::size_t n) {
+  std::atomic<std::size_t> count{0};
+  // shlint:shard-safe — atomic counter, order-independent.
+  pool.parallel_for(n, [&count](std::size_t) { ++count; });
+  return count.load();
+}

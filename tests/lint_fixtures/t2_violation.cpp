@@ -1,0 +1,35 @@
+// Seeded T2 violations: by-reference captures mutated inside sharded
+// bodies without per-shard indexing.  lint_test asserts exact lines.
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+double sum_all(Pool& pool, const std::vector<double>& xs) {
+  double sum = 0.0;
+  pool.parallel_for(xs.size(), [&](std::size_t i) {
+    sum += xs[i];  // line 16: T2 (cross-shard accumulate)
+  });
+  return sum;
+}
+
+std::vector<double> gather(Pool& pool, const std::vector<double>& xs) {
+  std::vector<double> out;
+  pool.parallel_for(xs.size(), [&out, &xs](std::size_t i) {
+    out.push_back(xs[i]);  // line 24: T2 (append order races)
+  });
+  return out;
+}
+
+std::size_t count_up(Pool& pool, std::size_t n) {
+  std::size_t count = 0;
+  pool.parallel_for(n, [&count](std::size_t) {
+    ++count;  // line 32: T2 (unsynchronized increment)
+  });
+  return count;
+}

@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "shlint/allowlist.h"
+#include "shlint/include_graph.h"
 #include "shlint/lexer.h"
 #include "shlint/rules.h"
+#include "shlint/sarif.h"
+#include "shlint/semantic.h"
 
 namespace {
 
@@ -46,6 +49,37 @@ RunResult run_shlint(const std::string& args) {
 
 std::string fixture(const std::string& name) {
   return std::string(SHLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// Run shlint with the fixture directory as the working directory, so
+/// fixture-relative paths (and the paths embedded in SARIF output) are
+/// stable no matter where the test binary runs.
+RunResult run_shlint_in_fixture_dir(const std::string& args) {
+  const std::string cmd = std::string("cd ") + SHLINT_FIXTURE_DIR + " && " +
+                          SHLINT_BIN + " " + args + " 2>/dev/null";
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) r.out.append(buf, n);
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string out;
+  char c;
+  while (in.get(c)) out += c;
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
 }
 
 int count_lines(const std::string& s) {
@@ -120,10 +154,11 @@ TEST(LexerTest, SplitSegments) {
 
 TEST(RulesTest, RuleTableIsStable) {
   const auto& rules = sh::lint::all_rules();
-  ASSERT_EQ(rules.size(), 5u);
-  for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(rules[static_cast<std::size_t>(i)].id,
-              "D" + std::to_string(i + 1));
+  ASSERT_EQ(rules.size(), 12u);
+  const char* expected[] = {"D1", "D2", "D3", "D4", "D5", "L1",
+                            "L2", "L3", "T1", "T2", "F1", "F2"};
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(rules[i].id, expected[i]);
   }
 }
 
@@ -182,6 +217,92 @@ TEST(RulesTest, AllowlistRejectsUnknownRule) {
   sh::lint::Allowlist::parse("D9 foo.cpp\n", &errors);
   ASSERT_EQ(errors.size(), 1u);
   EXPECT_NE(errors[0].find("line 1"), std::string::npos);
+}
+
+// ---- Lexer regressions: line-desync bugs --------------------------------
+
+// A backslash-newline splice continues a // comment onto the next physical
+// line ([lex.phases] p2); the spliced line must land in the comment view,
+// not the code view.
+TEST(LexerTest, BackslashContinuationExtendsLineComment) {
+  const FileScan scan = scan_source(
+      "// comment that continues \\\n"
+      "int hidden = std::rand();\n"
+      "int visible = 1;\n");
+  ASSERT_GE(scan.line_count(), 3);
+  EXPECT_EQ(scan.code[1].find("rand"), std::string::npos);
+  EXPECT_NE(scan.comments[1].find("rand"), std::string::npos);
+  EXPECT_NE(scan.code[2].find("visible"), std::string::npos);
+}
+
+// `R"` followed by an invalid delimiter (stringized macro bodies produce
+// `R")`) is an ordinary string, not a raw string; treating it as raw used
+// to swallow everything to EOF and blank later violations.
+TEST(LexerTest, InvalidRawDelimiterFallsBackToOrdinaryString) {
+  const FileScan scan = scan_source(
+      "const char* s = SHOW(R\"); // rebalanced: \"\n"
+      "int next = std::rand();\n");
+  ASSERT_GE(scan.line_count(), 2);
+  EXPECT_NE(scan.code[1].find("rand"), std::string::npos);
+}
+
+// A valid raw string still blanks across lines with line numbers intact.
+TEST(LexerTest, ValidRawDelimiterStillScansAsRawString) {
+  const FileScan scan = scan_source(
+      "auto s = R\"x(line one\nstd::rand()\n)x\"; int after = 1;\n");
+  ASSERT_GE(scan.line_count(), 3);
+  EXPECT_EQ(scan.code[1].find("rand"), std::string::npos);
+  EXPECT_NE(scan.code[2].find("after"), std::string::npos);
+}
+
+TEST(LexerTest, IncludesAreRecordedWithLines) {
+  const FileScan scan = scan_source(
+      "#pragma once\n"
+      "#include \"util/rng.h\"\n"
+      "#include <vector>\n"
+      "#include \"exp/sweep.h\"\n");
+  ASSERT_EQ(scan.includes.size(), 2u);
+  EXPECT_EQ(scan.includes[0].path, "util/rng.h");
+  EXPECT_EQ(scan.includes[0].line, 2);
+  EXPECT_EQ(scan.includes[1].path, "exp/sweep.h");
+  EXPECT_EQ(scan.includes[1].line, 4);
+}
+
+// ---- Layer manifest unit tests ------------------------------------------
+
+TEST(LayerManifestTest, ParsesLayersAndKernelTus) {
+  std::vector<std::string> errors;
+  const auto m = sh::lint::LayerManifest::parse(
+      "# comment\n"
+      "layer util\n"
+      "layer core transport\n"
+      "kernel-tu src/util/detmath_portable.cpp\n",
+      &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(m.layers.size(), 2u);
+  EXPECT_EQ(m.layer_of.at("util"), 0);
+  EXPECT_EQ(m.layer_of.at("core"), 1);
+  EXPECT_EQ(m.layer_of.at("transport"), 1);
+  ASSERT_EQ(m.kernel_tus.size(), 1u);
+  EXPECT_EQ(m.kernel_tus[0], "src/util/detmath_portable.cpp");
+}
+
+TEST(LayerManifestTest, RejectsDuplicateModuleAndUnknownDirective) {
+  std::vector<std::string> errors;
+  sh::lint::LayerManifest::parse("layer util\nlayer util\nbogus x\n",
+                                 &errors);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("line 2"), std::string::npos);
+  EXPECT_NE(errors[1].find("line 3"), std::string::npos);
+}
+
+TEST(LayerManifestTest, SrcRelativeAndModule) {
+  EXPECT_EQ(sh::lint::src_relative("src/util/rng.h"), "util/rng.h");
+  EXPECT_EQ(sh::lint::src_relative("/abs/repo/src/exp/sweep.cpp"),
+            "exp/sweep.cpp");
+  EXPECT_EQ(sh::lint::src_relative("my_src/x.h"), "");
+  EXPECT_EQ(sh::lint::module_of("util/rng.h"), "util");
+  EXPECT_EQ(sh::lint::module_of("toplevel.h"), "");
 }
 
 // ---- CLI end-to-end over the seeded fixtures ----------------------------
@@ -290,17 +411,212 @@ TEST(ShlintCliTest, MissingPathIsUsageError) {
   EXPECT_EQ(run_shlint("").exit_code, 2);
 }
 
-// The acceptance gate: the repo's own sources satisfy the contract.  The
-// fixture directory is pruned via its .shlint-skip marker, and the two
-// sanctioned escapes (sweep.cpp's stderr timing, exp_test's thread-id
-// assertions) go through the inline annotation and the checked-in
-// allowlist respectively.
+// ---- Layering (L-rules) --------------------------------------------------
+
+TEST(ShlintCliTest, LayeringFixtureReportsBackEdgeCycleAndUnknownModule) {
+  const auto r = run_shlint_in_fixture_dir(
+      "--quiet --layers layering_layers.txt layering_bad");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.out), 3) << r.out;
+  EXPECT_NE(r.out.find("layering_bad/src/util/low.h:4: [L1]"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("layering_bad/src/util/a.h:4: [L2]"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(
+      r.out.find("include cycle: util/a.h -> util/b.h -> util/a.h"),
+      std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("layering_bad/src/rogue/thing.h:1: [L3]"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(ShlintCliTest, LayeringCleanTreePasses) {
+  const auto r = run_shlint_in_fixture_dir(
+      "--quiet --layers layering_layers.txt layering_clean");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+// ---- Thread-shard mutation (T-rules) -------------------------------------
+
+TEST(ShlintCliTest, T1FixtureFlagsGlobalsAndMutableStatics) {
+  const auto r = run_shlint("--quiet " + fixture("t1_violation.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.out), 5) << r.out;
+  for (int line : {6, 9, 13, 17, 22}) {
+    EXPECT_NE(
+        r.out.find("t1_violation.cpp:" + std::to_string(line) + ": [T1]"),
+        std::string::npos)
+        << "missing line " << line << " in:\n" << r.out;
+  }
+}
+
+TEST(ShlintCliTest, T1CleanConstantsAndSanctionedGlobalPass) {
+  const auto r = run_shlint("--quiet " + fixture("t1_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(ShlintCliTest, T2FixtureFlagsMutatedRefCaptures) {
+  const auto r = run_shlint("--quiet " + fixture("t2_violation.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.out), 3) << r.out;
+  for (int line : {16, 24, 32}) {
+    EXPECT_NE(
+        r.out.find("t2_violation.cpp:" + std::to_string(line) + ": [T2]"),
+        std::string::npos)
+        << "missing line " << line << " in:\n" << r.out;
+  }
+}
+
+TEST(ShlintCliTest, T2PerShardSlotsAndShardSafeCommentPass) {
+  const auto r = run_shlint("--quiet " + fixture("t2_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+// ---- FP-contract (F-rules) -----------------------------------------------
+
+TEST(ShlintCliTest, F1FixtureFlagsRawMulAddsInKernelTu) {
+  const auto r = run_shlint_in_fixture_dir(
+      "--quiet --layers kernel_layers.txt f1_kernel.cpp");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.out), 3) << r.out;
+  for (int line : {6, 10, 16}) {
+    EXPECT_NE(
+        r.out.find("f1_kernel.cpp:" + std::to_string(line) + ": [F1]"),
+        std::string::npos)
+        << "missing line " << line << " in:\n" << r.out;
+  }
+}
+
+// The same expressions outside a kernel TU are nobody's business.
+TEST(ShlintCliTest, F1DoesNotFireOutsideKernelTus) {
+  const auto r =
+      run_shlint_in_fixture_dir("--quiet f1_kernel.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(ShlintCliTest, F1FmaSpellingsAndUnfusedCommentsPass) {
+  const auto r = run_shlint_in_fixture_dir(
+      "--quiet --layers kernel_layers.txt f1_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST(ShlintCliTest, F2FlagsKernelTuWithoutContractOff) {
+  const auto r = run_shlint_in_fixture_dir(
+      "--quiet --layers kernel_layers.txt "
+      "--compile-commands f2_compile_commands.json f2_kernel.cpp");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.out), 1) << r.out;
+  EXPECT_NE(r.out.find("f2_kernel.cpp:1: [F2]"), std::string::npos)
+      << r.out;
+}
+
+TEST(ShlintCliTest, F2PassesWhenContractOffIsPresent) {
+  const auto r = run_shlint_in_fixture_dir(
+      "--quiet --layers kernel_layers.txt "
+      "--compile-commands f2_compile_commands_good.json f2_kernel.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+// ---- Lexer regressions, end to end ---------------------------------------
+
+// Comment splices and invalid raw-string delimiters used to desynchronize
+// line numbers; the fixture pins the one real violation to its true line.
+TEST(ShlintCliTest, TrickyLexingKeepsLineNumbersInSync) {
+  const auto r = run_shlint("--quiet " + fixture("lexer_tricky.cpp"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(count_lines(r.out), 1) << r.out;
+  EXPECT_NE(r.out.find("lexer_tricky.cpp:15: [D1]"), std::string::npos)
+      << r.out;
+}
+
+// ---- SARIF output --------------------------------------------------------
+
+TEST(ShlintCliTest, SarifOutputMatchesGolden) {
+  const std::string out_path = ::testing::TempDir() + "/shlint_test.sarif";
+  std::remove(out_path.c_str());
+  const auto r = run_shlint_in_fixture_dir("--quiet --sarif " + out_path +
+                                           " sarif_input.cpp");
+  EXPECT_EQ(r.exit_code, 1);
+  const std::string got = read_file_or_empty(out_path);
+  const std::string golden = read_file_or_empty(fixture("sarif_golden.sarif"));
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(got, golden);
+}
+
+// A clean run still writes a (result-free) report, so CI can upload the
+// artifact unconditionally.
+TEST(ShlintCliTest, SarifIsWrittenOnCleanRuns) {
+  const std::string out_path =
+      ::testing::TempDir() + "/shlint_clean.sarif";
+  std::remove(out_path.c_str());
+  const auto r = run_shlint("--quiet --sarif " + out_path + " " +
+                            fixture("d1_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  const std::string got = read_file_or_empty(out_path);
+  EXPECT_NE(got.find("\"results\": []"), std::string::npos) << got;
+  EXPECT_NE(got.find("sarif-2.1.0.json"), std::string::npos);
+}
+
+// ---- --fix / --fix-allow -------------------------------------------------
+
+TEST(ShlintCliTest, FixInsertsPragmaOnceAndIsIdempotent) {
+  const std::string copy = ::testing::TempDir() + "/fixme.h";
+  write_file(copy, read_file_or_empty(fixture("d4_violation.h")));
+
+  const auto fixed = run_shlint("--quiet --fix " + copy);
+  EXPECT_EQ(fixed.exit_code, 0) << fixed.out;
+  const std::string once = read_file_or_empty(copy);
+  EXPECT_NE(once.find("#pragma once"), std::string::npos) << once;
+
+  const auto again = run_shlint("--quiet --fix " + copy);
+  EXPECT_EQ(again.exit_code, 0) << again.out;
+  EXPECT_EQ(read_file_or_empty(copy), once);  // byte-identical round trip
+
+  const auto plain = run_shlint("--quiet " + copy);
+  EXPECT_EQ(plain.exit_code, 0) << plain.out;
+}
+
+TEST(ShlintCliTest, FixAllowAppendsInlineAnnotation) {
+  const std::string copy = ::testing::TempDir() + "/allow_me.cpp";
+  write_file(copy, read_file_or_empty(fixture("allowlisted.cpp")));
+
+  const auto fixed = run_shlint("--quiet --fix-allow D1 " + copy);
+  EXPECT_EQ(fixed.exit_code, 0) << fixed.out;
+  EXPECT_NE(read_file_or_empty(copy).find("// shlint:allow(D1)"),
+            std::string::npos);
+
+  const auto plain = run_shlint("--quiet " + copy);
+  EXPECT_EQ(plain.exit_code, 0) << plain.out;
+
+  // Idempotent: a second pass adds nothing.
+  const std::string once = read_file_or_empty(copy);
+  run_shlint("--quiet --fix-allow D1 " + copy);
+  EXPECT_EQ(read_file_or_empty(copy), once);
+}
+
+// ---- Repo acceptance gate ------------------------------------------------
+
+// The acceptance gate: the repo's own sources satisfy the full D+L+T+F
+// contract.  The fixture directory is pruned via its .shlint-skip marker;
+// sanctioned escapes go through inline annotations, `shlint:shard-safe`
+// justifications, and the checked-in allowlist.
 TEST(ShlintCliTest, RepositoryIsClean) {
   const std::string repo(SHLINT_REPO_DIR);
-  const auto r = run_shlint("--quiet --allowlist " + repo +
-                            "/tools/shlint/allowlist.txt " + repo + "/src " +
-                            repo + "/tools " + repo + "/bench " + repo +
-                            "/tests " + repo + "/examples");
+  const auto r = run_shlint(
+      "--quiet --allowlist " + repo + "/tools/shlint/allowlist.txt" +
+      " --layers " + repo + "/tools/shlint/layers.txt" +
+      " --compile-commands " + std::string(SHLINT_COMPILE_COMMANDS) + " " +
+      repo + "/src " + repo + "/tools " + repo + "/bench " + repo +
+      "/tests " + repo + "/examples");
   EXPECT_EQ(r.exit_code, 0) << r.out;
   EXPECT_TRUE(r.out.empty()) << r.out;
 }

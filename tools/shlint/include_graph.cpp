@@ -1,0 +1,231 @@
+#include "shlint/include_graph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace sh::lint {
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Diagnostics for one file, filtered through that file's allow comments.
+void emit_filtered(const ScannedFile& file, std::vector<Diagnostic> diags,
+                   std::vector<Diagnostic>* out) {
+  for (Diagnostic& d : filter_allowed(*file.scan, std::move(diags))) {
+    out->push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+LayerManifest LayerManifest::parse(std::string_view text,
+                                   std::vector<std::string>* errors) {
+  LayerManifest out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (errors != nullptr) {
+      errors->push_back("layers line " + std::to_string(lineno) + ": " + why);
+    }
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> toks = split_ws(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "layer") {
+      if (toks.size() < 2) {
+        fail("'layer' needs at least one module name");
+        continue;
+      }
+      std::vector<std::string> modules(toks.begin() + 1, toks.end());
+      for (const std::string& m : modules) {
+        if (out.layer_of.count(m) != 0) {
+          fail("module '" + m + "' declared in two layers");
+        } else {
+          out.layer_of[m] = static_cast<int>(out.layers.size());
+        }
+      }
+      out.layers.push_back(std::move(modules));
+    } else if (toks[0] == "kernel-tu") {
+      if (toks.size() != 2) {
+        fail("'kernel-tu' needs exactly one path");
+        continue;
+      }
+      out.kernel_tus.push_back(normalize_path(toks[1]));
+    } else {
+      fail("unknown directive '" + toks[0] + "' (expected 'layer' or "
+           "'kernel-tu')");
+    }
+  }
+  return out;
+}
+
+std::string src_relative(std::string_view normalized_path) {
+  // Last path component equal to "src" wins, so absolute paths work too.
+  std::size_t best = std::string_view::npos;
+  std::size_t pos = 0;
+  while ((pos = normalized_path.find("src/", pos)) !=
+         std::string_view::npos) {
+    if (pos == 0 || normalized_path[pos - 1] == '/') best = pos;
+    pos += 4;
+  }
+  if (best == std::string_view::npos) return "";
+  return std::string(normalized_path.substr(best + 4));
+}
+
+std::string module_of(std::string_view src_rel) {
+  const std::size_t slash = src_rel.find('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(src_rel.substr(0, slash));
+}
+
+std::vector<Diagnostic> check_layering(
+    const LayerManifest& manifest, const std::vector<ScannedFile>& files) {
+  std::vector<Diagnostic> out;
+
+  // Files under src/, keyed by their src-relative path.  std::map keeps
+  // every later walk in sorted order — diagnostics must not depend on
+  // command-line order.
+  std::map<std::string, const ScannedFile*> src_files;
+  for (const ScannedFile& f : files) {
+    const std::string rel = src_relative(f.path);
+    if (!rel.empty() && !module_of(rel).empty()) {
+      src_files.emplace(rel, &f);
+    }
+  }
+
+  // -- L3: every src/ module appears in the manifest ----------------------
+  if (!manifest.layers.empty()) {
+    std::set<std::string> reported;
+    for (const auto& [rel, file] : src_files) {
+      const std::string mod = module_of(rel);
+      if (manifest.layer_of.count(mod) != 0 || reported.count(mod) != 0) {
+        continue;
+      }
+      reported.insert(mod);
+      emit_filtered(*file,
+                    {Diagnostic{file->path, 1, "L3",
+                                "module '" + mod +
+                                    "' is not declared in the layer "
+                                    "manifest (tools/shlint/layers.txt)"}},
+                    &out);
+    }
+  }
+
+  // -- L1: no include of a higher layer -----------------------------------
+  if (!manifest.layers.empty()) {
+    for (const auto& [rel, file] : src_files) {
+      const std::string from_mod = module_of(rel);
+      const auto from_it = manifest.layer_of.find(from_mod);
+      if (from_it == manifest.layer_of.end()) continue;  // L3 covered it.
+      std::vector<Diagnostic> diags;
+      for (const IncludeRef& inc : file->scan->includes) {
+        const std::string to_mod = module_of(normalize_path(inc.path));
+        const auto to_it = manifest.layer_of.find(to_mod);
+        if (to_it == manifest.layer_of.end()) continue;
+        if (to_it->second > from_it->second) {
+          diags.push_back(Diagnostic{
+              file->path, inc.line, "L1",
+              "layering back-edge: '" + from_mod + "' (layer " +
+                  std::to_string(from_it->second) + ") includes \"" +
+                  inc.path + "\" from higher layer '" + to_mod + "' (layer " +
+                  std::to_string(to_it->second) +
+                  "); see tools/shlint/layers.txt"});
+        }
+      }
+      emit_filtered(*file, std::move(diags), &out);
+    }
+  }
+
+  // -- L2: the include graph under src/ is acyclic ------------------------
+  {
+    // Adjacency restricted to scanned src/ files; include paths are
+    // src-relative by the repo's include convention (src/ is the one
+    // include root for first-party headers).
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [rel, file] : src_files) {
+      std::vector<std::string>& edges = adj[rel];
+      for (const IncludeRef& inc : file->scan->includes) {
+        const std::string target = normalize_path(inc.path);
+        if (src_files.count(target) != 0) edges.push_back(target);
+      }
+      std::sort(edges.begin(), edges.end());
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+
+    // DFS with an explicit stack; a back-edge into the current path is a
+    // cycle.  Each cycle is reported once, anchored at its
+    // lexicographically smallest member.
+    std::map<std::string, int> color;  // 0 white, 1 on path, 2 done
+    std::set<std::vector<std::string>> seen_cycles;
+    std::vector<std::string> path;
+
+    std::function<void(const std::string&)> dfs =
+        [&](const std::string& node) {
+          color[node] = 1;
+          path.push_back(node);
+          for (const std::string& next : adj[node]) {
+            if (color[next] == 1) {
+              // Extract the cycle node..., anchored canonically.
+              const auto start =
+                  std::find(path.begin(), path.end(), next);
+              std::vector<std::string> cycle(start, path.end());
+              std::vector<std::string> key = cycle;
+              std::sort(key.begin(), key.end());
+              if (!seen_cycles.insert(key).second) continue;
+              const std::string& anchor =
+                  *std::min_element(cycle.begin(), cycle.end());
+              const ScannedFile* file = src_files.at(anchor);
+              // Anchor the diagnostic at the include that closes the cycle
+              // from the anchor file.
+              const std::size_t pos_in_cycle = static_cast<std::size_t>(
+                  std::find(cycle.begin(), cycle.end(), anchor) -
+                  cycle.begin());
+              const std::string& next_in_cycle =
+                  cycle[(pos_in_cycle + 1) % cycle.size()];
+              int line = 1;
+              for (const IncludeRef& inc : file->scan->includes) {
+                if (normalize_path(inc.path) == next_in_cycle) {
+                  line = inc.line;
+                  break;
+                }
+              }
+              std::string chain = anchor;
+              for (std::size_t i = 1; i <= cycle.size(); ++i) {
+                chain += " -> " +
+                         cycle[(pos_in_cycle + i) % cycle.size()];
+              }
+              emit_filtered(
+                  *file,
+                  {Diagnostic{file->path, line, "L2",
+                              "include cycle: " + chain}},
+                  &out);
+            } else if (color[next] == 0) {
+              dfs(next);
+            }
+          }
+          path.pop_back();
+          color[node] = 2;
+        };
+    for (const auto& [rel, file] : src_files) {
+      (void)file;
+      if (color[rel] == 0) dfs(rel);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace sh::lint

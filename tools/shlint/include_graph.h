@@ -1,0 +1,78 @@
+// Cross-file layering contract (rules L1-L3).
+//
+// The build already enforces module boundaries through per-module static
+// libraries, but the linker only sees symbol references — a header-only
+// back-include (say, util/ reaching up into exp/) links fine and still
+// inverts the architecture.  shlint closes that gap: the lexer records
+// every quoted include, this module maps files under src/ to their module
+// (the first path segment: src/util/rng.h -> util), and checks the edges
+// against the checked-in layer manifest, tools/shlint/layers.txt.
+//
+// Manifest format, one directive per line, `#` starts a comment:
+//
+//   layer util                  — lowest layer first; a layer may hold
+//   layer core transport power    several modules, space-separated
+//   ...
+//   kernel-tu src/util/detmath_portable.cpp   — detmath kernel sources,
+//                                               consumed by the F-rules
+//
+// An include is legal when the including module's layer is >= the included
+// module's layer (same-layer includes are allowed; the cycle check keeps
+// them honest).  A lower layer including a higher one is a back-edge (L1).
+// File-level include cycles under src/ are L2.  A src/ module missing from
+// the manifest is L3 — the manifest stays exhaustive by construction.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shlint/lexer.h"
+#include "shlint/rules.h"
+
+namespace sh::lint {
+
+/// Parsed tools/shlint/layers.txt.
+struct LayerManifest {
+  /// layers[i] is the set of modules at layer i (0 = lowest).
+  std::vector<std::vector<std::string>> layers;
+  /// Module name -> layer index.
+  std::map<std::string, int> layer_of;
+  /// Repo-relative paths of the detmath kernel sources (F-rules).
+  std::vector<std::string> kernel_tus;
+
+  bool empty() const { return layers.empty() && kernel_tus.empty(); }
+
+  /// Parse manifest text.  Unparseable or duplicate entries are reported
+  /// via `errors`; parsing continues past them.
+  static LayerManifest parse(std::string_view text,
+                             std::vector<std::string>* errors);
+};
+
+/// `src/`-relative path of a scanned file ("util/rng.h" for any path whose
+/// last `src/` component precedes it), or "" when the file is not under a
+/// src/ directory.  Matching is on path components, so "my_src/x.h" is not
+/// under src/ but "/abs/repo/src/x.h" is.
+std::string src_relative(std::string_view normalized_path);
+
+/// Module of a src/-relative path: its first segment ("util/rng.h" ->
+/// "util"), or "" for files directly under src/.
+std::string module_of(std::string_view src_rel);
+
+/// One scanned file, as the cross-file checks need it: the driver keeps
+/// scans alive and hands them over in one batch.
+struct ScannedFile {
+  std::string path;       ///< Normalized path as given on the command line.
+  const FileScan* scan = nullptr;
+};
+
+/// Run L1 (layer back-edges), L2 (include cycles), and L3 (module missing
+/// from the manifest) over every scanned file under src/.  Inline and
+/// file-scope allow annotations are already applied to the result.  With
+/// an empty manifest, only L2 runs — a cycle is a defect no matter what
+/// the layers are.
+std::vector<Diagnostic> check_layering(const LayerManifest& manifest,
+                                       const std::vector<ScannedFile>& files);
+
+}  // namespace sh::lint

@@ -4,7 +4,6 @@
 #include <cstddef>
 
 namespace sh::lint {
-namespace {
 
 bool is_ident_start(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -13,6 +12,8 @@ bool is_ident_start(char c) {
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
+
+namespace {
 
 /// True when a `'` at position i opens a character literal rather than
 /// separating digits (1'000'000).
@@ -39,6 +40,41 @@ std::size_t raw_prefix_len(std::string_view text, std::size_t i) {
   return i - start;
 }
 
+/// Valid in a raw-string delimiter: any character except parens, backslash
+/// and whitespace ([lex.string]); at most 16 of them.  A `"` after an `R`
+/// that is *not* followed by a well-formed `delim(` — the stringized-macro
+/// case, `STR(R"...)` — is an ordinary string, and treating it as raw used
+/// to swallow newlines and desynchronize every later line number.
+bool valid_raw_delim_char(char c) {
+  return c != '(' && c != ')' && c != '\\' && c != ' ' && c != '\t' &&
+         c != '\n' && c != '\r' && c != '"';
+}
+
+/// True when the code collected for the current line so far is exactly a
+/// `#include` directive head, i.e. the `"` that follows opens an include
+/// path rather than an ordinary string literal.
+bool is_include_head(std::string_view code_line) {
+  std::size_t i = 0;
+  while (i < code_line.size() &&
+         (code_line[i] == ' ' || code_line[i] == '\t')) {
+    ++i;
+  }
+  if (i >= code_line.size() || code_line[i] != '#') return false;
+  ++i;
+  while (i < code_line.size() &&
+         (code_line[i] == ' ' || code_line[i] == '\t')) {
+    ++i;
+  }
+  static constexpr std::string_view kInclude = "include";
+  if (code_line.substr(i, kInclude.size()) != kInclude) return false;
+  i += kInclude.size();
+  while (i < code_line.size() &&
+         (code_line[i] == ' ' || code_line[i] == '\t')) {
+    ++i;
+  }
+  return i == code_line.size();
+}
+
 }  // namespace
 
 FileScan scan_source(std::string_view text) {
@@ -56,6 +92,8 @@ FileScan scan_source(std::string_view text) {
   };
   State state = State::kCode;
   std::string raw_delim;  // For kRawString: the `)delim"` terminator.
+  bool in_include = false;     // Current kString is an include path.
+  std::string include_path;    // Accumulates that path.
 
   auto flush_line = [&] {
     out.code.push_back(code_line);
@@ -68,7 +106,15 @@ FileScan scan_source(std::string_view text) {
   for (std::size_t i = 0; i < n; ++i) {
     const char c = text[i];
     if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
+      if (state == State::kLineComment) {
+        // A backslash spliced to the newline continues the comment onto
+        // the next physical line ([lex.phases] p2 runs before comment
+        // recognition); without this the next line would be lexed as code.
+        const bool spliced =
+            (i >= 1 && text[i - 1] == '\\') ||
+            (i >= 2 && text[i - 1] == '\r' && text[i - 2] == '\\');
+        if (!spliced) state = State::kCode;
+      }
       flush_line();
       continue;
     }
@@ -83,19 +129,28 @@ FileScan scan_source(std::string_view text) {
           code_line += "  ";
           ++i;
         } else if (c == '"') {
-          const std::size_t prefix = raw_prefix_len(text, i);
-          if (prefix > 0) {
-            // R"delim( ... )delim"
+          // A well-formed raw-string head is `R"delim(` with a delimiter
+          // of at most 16 valid characters; anything else (including the
+          // stringized `R"` a macro body can produce) lexes as an
+          // ordinary string so the scan never jumps across newlines.
+          std::size_t prefix_delim_end = std::string::npos;
+          if (raw_prefix_len(text, i) > 0) {
             std::size_t j = i + 1;
-            std::string delim;
-            while (j < n && text[j] != '(') delim += text[j++];
-            raw_delim = ")" + delim + "\"";
+            while (j < n && j - i <= 16 && valid_raw_delim_char(text[j])) ++j;
+            if (j < n && text[j] == '(') prefix_delim_end = j;
+          }
+          if (prefix_delim_end != std::string::npos) {
+            // R"delim( ... )delim"
+            const std::size_t j = prefix_delim_end;
+            raw_delim = ")" + std::string(text.substr(i + 1, j - i - 1)) + "\"";
             state = State::kRawString;
             // Keep the opening delimiter in the code view.
             code_line.append(text.substr(i, j - i + 1));
             i = j;
           } else {
             state = State::kString;
+            in_include = is_include_head(code_line);
+            include_path.clear();
             code_line += '"';
           }
         } else if (c == '\'' && opens_char_literal(text, i)) {
@@ -126,7 +181,13 @@ FileScan scan_source(std::string_view text) {
         } else if (c == '"') {
           state = State::kCode;
           code_line += '"';
+          if (in_include) {
+            out.includes.push_back(IncludeRef{
+                include_path, static_cast<int>(out.code.size()) + 1});
+            in_include = false;
+          }
         } else {
+          if (in_include) include_path += c;
           code_line += ' ';
         }
         break;
@@ -213,6 +274,33 @@ std::vector<TokenRef> qualified_identifiers(const FileScan& scan) {
     }
   }
   return tokens;
+}
+
+FlatView flatten(const FileScan& scan) {
+  FlatView f;
+  for (int ln = 0; ln < scan.line_count(); ++ln) {
+    f.line_offset.push_back(f.text.size());
+    const std::string& l = scan.code[static_cast<std::size_t>(ln)];
+    f.text += l;
+    f.text += '\n';
+    f.line.insert(f.line.end(), l.size() + 1, ln + 1);
+  }
+  return f;
+}
+
+std::size_t match_forward(std::string_view s, std::size_t open, char oc,
+                          char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == oc) ++depth;
+    if (s[i] == cc && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t')) ++i;
+  return i;
 }
 
 std::vector<std::string> split_segments(std::string_view qualified) {

@@ -16,14 +16,25 @@
 
 namespace sh::lint {
 
+/// A quoted `#include "..."` directive found during scanning.  System
+/// includes (`<...>`) never participate in the layering rules, so only the
+/// quoted form is recorded.  `line` is 1-based.
+struct IncludeRef {
+  std::string path;
+  int line = 0;
+};
+
 /// A source file split into per-line code and comment views.  Both vectors
 /// have one entry per physical line.  `code[i]` is line i with comment and
 /// literal *contents* replaced by spaces (delimiters are kept, so column
 /// numbers in the original file still line up).  `comments[i]` is the text
-/// of every comment that overlaps line i, concatenated.
+/// of every comment that overlaps line i, concatenated.  `includes` lists
+/// every quoted include directive (the lexer records the path before
+/// blanking the string, so the cross-file rules see it).
 struct FileScan {
   std::vector<std::string> code;
   std::vector<std::string> comments;
+  std::vector<IncludeRef> includes;
 
   int line_count() const { return static_cast<int>(code.size()); }
 };
@@ -49,5 +60,34 @@ std::vector<TokenRef> qualified_identifiers(const FileScan& scan);
 
 /// Split a qualified name into its `::`-separated segments.
 std::vector<std::string> split_segments(std::string_view qualified);
+
+/// The code view joined into one string, with per-character source lines —
+/// the working surface for every rule that matches constructs spanning
+/// physical lines (balanced parens, lambda bodies, declarations).
+struct FlatView {
+  std::string text;        ///< Code view joined by '\n'.
+  std::vector<int> line;   ///< 1-based source line of every char in `text`.
+  std::vector<std::size_t> line_offset;  ///< Offset of each line's first char.
+
+  std::size_t offset_of(int line_1based, int column_1based) const {
+    return line_offset[static_cast<std::size_t>(line_1based - 1)] +
+           static_cast<std::size_t>(column_1based - 1);
+  }
+  std::size_t offset_of(const TokenRef& tok) const {
+    return offset_of(tok.line, tok.column);
+  }
+};
+
+FlatView flatten(const FileScan& scan);
+
+/// Index just past the matching closer for the opener at `open`, or npos.
+std::size_t match_forward(std::string_view s, std::size_t open, char oc,
+                          char cc);
+
+/// First index >= i that is not a space/tab/newline.
+std::size_t skip_ws(std::string_view s, std::size_t i);
+
+bool is_ident_char(char c);
+bool is_ident_start(char c);
 
 }  // namespace sh::lint

@@ -8,12 +8,13 @@
 #include <vector>
 
 namespace sh::lint {
-namespace {
 
 std::string normalize_path(std::string path) {
   std::replace(path.begin(), path.end(), '\\', '/');
   return path;
 }
+
+namespace {
 
 bool ends_with(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
@@ -80,59 +81,11 @@ const char* const kD2Types[] = {
     "seed_seq",
 };
 
-// ---- Flattened code view, for constructs that span lines ----------------
-
-struct Flat {
-  std::string text;        // Code view joined by '\n'.
-  std::vector<int> line;   // 1-based source line of every char in `text`.
-  std::vector<std::size_t> line_offset;  // Offset of each line's first char.
-
-  std::size_t offset_of(const TokenRef& tok) const {
-    return line_offset[static_cast<std::size_t>(tok.line - 1)] +
-           static_cast<std::size_t>(tok.column - 1);
-  }
-};
-
-Flat flatten(const FileScan& scan) {
-  Flat f;
-  for (int ln = 0; ln < scan.line_count(); ++ln) {
-    f.line_offset.push_back(f.text.size());
-    const std::string& l = scan.code[static_cast<std::size_t>(ln)];
-    f.text += l;
-    f.text += '\n';
-    f.line.insert(f.line.end(), l.size() + 1, ln + 1);
-  }
-  return f;
-}
-
-/// Index just past the matching closer for the opener at `open`, or npos.
-std::size_t match_forward(const std::string& s, std::size_t open, char oc,
-                          char cc) {
-  int depth = 0;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    if (s[i] == oc) ++depth;
-    if (s[i] == cc && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::size_t skip_spaces(const std::string& s, std::size_t i) {
-  while (i < s.size() &&
-         (s[i] == ' ' || s[i] == '\n' || s[i] == '\t')) {
-    ++i;
-  }
-  return i;
-}
-
 /// Declaration context for an unqualified function-style ban: in
 /// `DopplerClock clock(scenario)` or `const FaultClock& clock() const`,
 /// the name is being *declared*, not called.  Preceding identifier (other
 /// than a control keyword), `&`, `*`, or `>` marks a declaration.
-bool declaration_context(const Flat& flat, std::size_t tok_start) {
+bool declaration_context(const FlatView& flat, std::size_t tok_start) {
   std::size_t p = tok_start;
   while (p > 0 && (flat.text[p - 1] == ' ' || flat.text[p - 1] == '\n' ||
                    flat.text[p - 1] == '\t')) {
@@ -222,6 +175,26 @@ const std::vector<RuleInfo>& all_rules() {
       {"D5",
        "no float/double std::accumulate / std::reduce without an explicit "
        "ordering comment"},
+      {"L1",
+       "no include of a module in a higher layer than the including file's "
+       "module (back-edge against tools/shlint/layers.txt)"},
+      {"L2", "no cycles in the include graph under src/"},
+      {"L3",
+       "every src/ module is declared in the layer manifest "
+       "(tools/shlint/layers.txt)"},
+      {"T1",
+       "no non-const globals or mutable function-local statics; shared "
+       "mutable state breaks sharded determinism silently"},
+      {"T2",
+       "no mutation of a by-reference lambda capture inside a "
+       "ThreadPool::parallel_for/submit body unless the write is indexed by "
+       "the shard/task parameter or carries a shlint:shard-safe comment"},
+      {"F1",
+       "no raw a*b+c in detmath kernel TUs: spell std::fma for a fused op, "
+       "or state in a comment that the op is deliberately unfused"},
+      {"F2",
+       "detmath kernel TUs compile with -ffp-contract=off (checked against "
+       "compile_commands.json)"},
   };
   return kRules;
 }
@@ -241,7 +214,7 @@ std::vector<Diagnostic> check_file(const std::string& raw_path,
   };
 
   const std::vector<TokenRef> tokens = qualified_identifiers(scan);
-  const Flat flat = flatten(scan);
+  const FlatView flat = flatten(scan);
   const bool rng_module = is_rng_module(path);
 
   // -- D1 / D2: banned names ---------------------------------------------
@@ -304,16 +277,16 @@ std::vector<Diagnostic> check_file(const std::string& raw_path,
       for (const TokenRef& tok : tokens) {
         const std::vector<std::string> segs = split_segments(tok.text);
         if (segs.empty() || kUnorderedTypes.count(segs.back()) == 0) continue;
-        std::size_t i = skip_spaces(
+        std::size_t i = skip_ws(
             flat.text, flat.offset_of(tok) + tok.text.size() +
                            (tok.global_qualified ? 2 : 0));
         if (i >= flat.text.size() || flat.text[i] != '<') continue;
         i = match_forward(flat.text, i, '<', '>');
         if (i == std::string::npos) continue;
-        i = skip_spaces(flat.text, i);
+        i = skip_ws(flat.text, i);
         while (i < flat.text.size() &&
                (flat.text[i] == '&' || flat.text[i] == '*')) {
-          i = skip_spaces(flat.text, i + 1);
+          i = skip_ws(flat.text, i + 1);
         }
         std::string var;
         while (i < flat.text.size() && is_ident_char(flat.text[i])) {
@@ -429,7 +402,11 @@ std::vector<Diagnostic> check_file(const std::string& raw_path,
     }
   }
 
-  // -- Apply inline and file-scope allow annotations ----------------------
+  return filter_allowed(scan, std::move(diags));
+}
+
+std::vector<Diagnostic> filter_allowed(const FileScan& scan,
+                                       std::vector<Diagnostic> diags) {
   std::vector<std::string> file_allows;
   for (const std::string& comment : scan.comments) {
     collect_allow_ids(comment, "shlint:allow-file(", &file_allows);

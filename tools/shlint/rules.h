@@ -17,6 +17,11 @@
 //   D4  every header carries #pragma once
 //   D5  float/double accumulate/reduce without an explicit ordering comment
 //
+// The cross-file families layered on top (shlint v2):
+//   L1-L3  include-graph layering contract (include_graph.h)
+//   T1-T2  thread-shard mutation rules (semantic.h)
+//   F1-F2  FP-contract rules for detmath kernel TUs (semantic.h)
+//
 // Escape hatches, in increasing scope:
 //   // shlint:allow(D1)        — same line or the line immediately above
 //   // shlint:allow-file(D1)   — anywhere in the file
@@ -55,5 +60,16 @@ std::vector<std::string> allows_in_comment(std::string_view comment);
 /// allowlist file is applied by the driver.
 std::vector<Diagnostic> check_file(const std::string& path,
                                    const FileScan& scan);
+
+/// Drop diagnostics suppressed by `// shlint:allow(RULE)` on the same line
+/// or the line above, or by a file-scope `// shlint:allow-file(RULE)`.
+/// Shared by check_file and the cross-file rule families, so every rule
+/// honors the same escape hatches.  Returns the survivors sorted by
+/// (line, rule).
+std::vector<Diagnostic> filter_allowed(const FileScan& scan,
+                                       std::vector<Diagnostic> diags);
+
+/// Normalize a path to forward slashes (diagnostics always use `/`).
+std::string normalize_path(std::string path);
 
 }  // namespace sh::lint

@@ -1,0 +1,104 @@
+#include "shlint/sarif.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace sh::lint {
+namespace {
+
+/// JSON string escaping per RFC 8259: the two mandatory escapes plus
+/// control characters; everything else passes through (shlint paths and
+/// messages are ASCII).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string sarif_report(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"shlint\",\n"
+      "          \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\n";
+    out += "              \"id\": \"" + json_escape(rules[i].id) + "\",\n";
+    out += "              \"shortDescription\": { \"text\": \"" +
+           json_escape(rules[i].summary) + "\" }\n";
+    out += i + 1 < rules.size() ? "            },\n" : "            }\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n";
+  out += diags.empty() ? "      \"results\": []\n" : "      \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(d.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": { \"text\": \"" +
+           json_escape(d.message) + "\" },\n";
+    out +=
+        "          \"locations\": [\n"
+        "            {\n"
+        "              \"physicalLocation\": {\n"
+        "                \"artifactLocation\": { \"uri\": \"" +
+        json_escape(d.path) +
+        "\" },\n"
+        "                \"region\": { \"startLine\": " +
+        std::to_string(d.line) +
+        " }\n"
+        "              }\n"
+        "            }\n"
+        "          ]\n";
+    out += i + 1 < diags.size() ? "        },\n" : "        }\n";
+  }
+  if (!diags.empty()) out += "      ]\n";
+  out +=
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace sh::lint

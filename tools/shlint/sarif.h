@@ -1,0 +1,25 @@
+// SARIF 2.1.0 emission for shlint diagnostics.
+//
+// SARIF (Static Analysis Results Interchange Format) is the interchange
+// format GitHub code scanning ingests; the CI lint job uploads the file
+// this module produces so every shlint diagnostic shows up as a code
+// scanning alert with a rule id, message, and file:line anchor.  Only the
+// small, stable subset of the schema that code scanning actually reads is
+// emitted: one run, tool.driver with the rule table from all_rules(), and
+// one result per diagnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shlint/rules.h"
+
+namespace sh::lint {
+
+/// Serialize diagnostics as a SARIF 2.1.0 log (pretty-printed JSON, stable
+/// key order, trailing newline).  `diags` should already be sorted the way
+/// the text output is; results are emitted in that order.  Paths become
+/// artifactLocation URIs verbatim (they are repo-relative by convention).
+std::string sarif_report(const std::vector<Diagnostic>& diags);
+
+}  // namespace sh::lint

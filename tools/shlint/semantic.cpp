@@ -1,0 +1,1007 @@
+#include "shlint/semantic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sh::lint {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// True when any comment on `line` or the `above` lines before it contains
+/// one of `needles` (case-insensitive).
+bool comment_nearby(const FileScan& scan, int line, int above,
+                    const std::vector<std::string_view>& needles) {
+  for (int ln = std::max(1, line - above); ln <= line; ++ln) {
+    if (ln > scan.line_count()) break;
+    const std::string lower =
+        to_lower(scan.comments[static_cast<std::size_t>(ln - 1)]);
+    for (std::string_view n : needles) {
+      if (lower.find(n) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+// ---- Shared backward/forward expression walking -------------------------
+
+std::size_t skip_ws_back(std::string_view s, std::size_t i) {
+  while (i > 0 &&
+         (s[i - 1] == ' ' || s[i - 1] == '\n' || s[i - 1] == '\t')) {
+    --i;
+  }
+  return i;
+}
+
+/// Walk backward over one postfix chain ending just before `end` (an
+/// identifier possibly qualified, with member access and balanced ()/[]
+/// groups): `parts[block].data` or `f(x)`.  Returns the chain start, the
+/// root identifier, and whether any [] index along the chain mentions one
+/// of `index_names`.
+struct ChainBack {
+  std::size_t begin = 0;
+  std::string root;
+  bool indexed = false;            ///< Chain contains a [] subscript.
+  bool indexed_by_name = false;    ///< Some subscript mentions index_names.
+};
+
+bool mentions_identifier(std::string_view text, std::size_t from,
+                         std::size_t to,
+                         const std::set<std::string>& names) {
+  std::size_t i = from;
+  while (i < to) {
+    if (!is_ident_start(text[i]) ||
+        (i > 0 && is_ident_char(text[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < to && is_ident_char(text[j])) ++j;
+    if (names.count(std::string(text.substr(i, j - i))) != 0) return true;
+    i = j;
+  }
+  return false;
+}
+
+std::size_t match_backward(std::string_view s, std::size_t close, char oc,
+                           char cc) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (s[i] == cc) ++depth;
+    if (s[i] == oc && --depth == 0) return i;
+    if (i == 0) break;
+  }
+  return std::string_view::npos;
+}
+
+ChainBack walk_chain_back(std::string_view text, std::size_t end,
+                          const std::set<std::string>& index_names) {
+  ChainBack out;
+  std::size_t i = skip_ws_back(text, end);
+  while (i > 0) {
+    const char c = text[i - 1];
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j > 0 && is_ident_char(text[j - 1])) --j;
+      out.root = std::string(text.substr(j, i - j));
+      i = j;
+      // `::` continues the qualified name; `.`/`->` continue the chain.
+      std::size_t p = skip_ws_back(text, i);
+      if (p >= 2 && text[p - 1] == ':' && text[p - 2] == ':') {
+        i = p - 2;
+        continue;
+      }
+      if (p >= 1 && text[p - 1] == '.') {
+        i = p - 1;
+        continue;
+      }
+      if (p >= 2 && text[p - 2] == '-' && text[p - 1] == '>') {
+        i = p - 2;
+        continue;
+      }
+      break;
+    }
+    if (c == ']' || c == ')') {
+      const char open = c == ']' ? '[' : '(';
+      const std::size_t open_pos = match_backward(text, i - 1, open, c);
+      if (open_pos == std::string_view::npos) break;
+      if (c == ']') {
+        out.indexed = true;
+        if (mentions_identifier(text, open_pos + 1, i - 1, index_names)) {
+          out.indexed_by_name = true;
+        }
+      }
+      i = open_pos;
+      continue;
+    }
+    break;
+  }
+  out.begin = i;
+  return out;
+}
+
+bool is_compound_op_char(char c) {
+  return c == '+' || c == '-' || c == '*' || c == '/' || c == '%' ||
+         c == '&' || c == '|' || c == '^';
+}
+
+// ---- T1: non-const globals and mutable statics --------------------------
+
+/// A statement at namespace scope, condensed: brace/paren/bracket groups
+/// elided to their delimiters, with the source line of the declarator.
+struct Statement {
+  std::vector<std::string> tokens;  ///< Identifiers and 1-char puncts.
+  std::vector<int> lines;           ///< Source line per token.
+};
+
+const std::set<std::string>& skip_leading_keywords() {
+  static const std::set<std::string> kSkip = {
+      "using",   "typedef", "template",      "friend", "namespace",
+      "asm",     "concept", "static_assert", "goto",   "requires"};
+  return kSkip;
+}
+
+const std::set<std::string>& type_decl_keywords() {
+  static const std::set<std::string> kType = {"class", "struct", "union",
+                                              "enum"};
+  return kType;
+}
+
+bool has_token(const Statement& st, std::string_view word) {
+  for (const std::string& t : st.tokens) {
+    if (t == word) return true;
+  }
+  return false;
+}
+
+/// Classify a condensed namespace-scope statement; returns true (with the
+/// declarator name and line) when it defines a mutable variable.
+bool mutable_variable_decl(const Statement& st, std::string* name,
+                           int* line) {
+  if (st.tokens.empty()) return false;
+  const std::string& first = st.tokens.front();
+  if (skip_leading_keywords().count(first) != 0) return false;
+  if (has_token(st, "const") || has_token(st, "constexpr") ||
+      has_token(st, "consteval")) {
+    return false;
+  }
+  // extern without an initializer only re-declares; the definition is
+  // flagged where it lives.
+  const bool has_eq = has_token(st, "=");
+  if (first == "extern" && !has_eq) return false;
+  if (has_token(st, "operator")) return false;
+
+  // Up to the initializer (or the whole statement): a `(` marks a function
+  // declaration/definition; `()`-style variable initializers are rare
+  // enough to miss.  A pure type definition (`struct X {...}`) has no
+  // declarator after its elided body.
+  std::size_t limit = st.tokens.size();
+  for (std::size_t i = 0; i < st.tokens.size(); ++i) {
+    if (st.tokens[i] == "=") {
+      limit = i;
+      break;
+    }
+  }
+  std::size_t last_ident = static_cast<std::size_t>(-1);
+  std::size_t last_brace = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const std::string& t = st.tokens[i];
+    if (t == "(") return false;
+    if (t == "{") last_brace = i;
+    if (is_ident_start(t[0])) last_ident = i;
+  }
+  if (last_ident == static_cast<std::size_t>(-1)) return false;
+  if (type_decl_keywords().count(first) != 0) {
+    // `struct X {} g;` declares g; `struct X {};` and `struct X;` don't.
+    if (last_brace == static_cast<std::size_t>(-1) ||
+        last_ident < last_brace) {
+      return false;
+    }
+  }
+  // A lone identifier is an expression or a macro invocation, not a
+  // declaration (`SOME_MACRO;`).
+  std::size_t ident_count = 0;
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (is_ident_start(st.tokens[i][0])) ++ident_count;
+  }
+  if (ident_count < 2 && !has_eq) return false;
+  if (ident_count < 1) return false;
+  *name = st.tokens[last_ident];
+  *line = st.lines[last_ident];
+  return true;
+}
+
+/// A span of flat text holding non-namespace scopes (function bodies,
+/// class bodies, initializers) — scanned for `static` locals in pass B.
+struct Region {
+  std::size_t begin;
+  std::size_t end;
+};
+
+class TopScanner {
+ public:
+  TopScanner(const FlatView& flat, std::vector<Region>* regions)
+      : flat_(flat), regions_(regions) {}
+
+  /// Scan one transparent region (file scope or a namespace body),
+  /// collecting condensed statements.
+  void scan(std::size_t begin, std::size_t end,
+            std::vector<Statement>* out) {
+    std::string_view text = flat_.text;
+    Statement st;
+    std::size_t i = begin;
+    auto flush = [&] {
+      if (!st.tokens.empty()) out->push_back(std::move(st));
+      st = Statement{};
+    };
+    while (i < end) {
+      const char c = text[i];
+      if (c == '#' && at_line_start(i)) {
+        i = skip_directive(i, end);
+        continue;
+      }
+      if (c == ';') {
+        flush();
+        ++i;
+        continue;
+      }
+      if (c == '(' || c == '[') {
+        const char close = c == '(' ? ')' : ']';
+        std::size_t past = match_forward(text, i, c, close);
+        if (past == std::string_view::npos || past > end) past = end;
+        push_tok(&st, std::string(1, c), i);
+        i = past;
+        continue;
+      }
+      if (c == '{') {
+        std::size_t past = match_forward(text, i, '{', '}');
+        if (past == std::string_view::npos || past > end) past = end;
+        if (has_token(st, "namespace") ||
+            (st.tokens.size() == 1 && st.tokens[0] == "extern")) {
+          // Transparent: recurse, then the whole thing is done (the
+          // closing brace needs no semicolon).
+          scan(i + 1, past - 1, out);
+          st = Statement{};
+          i = past;
+          continue;
+        }
+        regions_->push_back(Region{i + 1, past - 1});
+        if (!has_token(st, "=") && has_token(st, "(")) {
+          // Function definition: statement complete, nothing declared.
+          st = Statement{};
+          i = past;
+          continue;
+        }
+        push_tok(&st, "{", i);
+        i = past;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        std::size_t j = i;
+        while (j < end && is_ident_char(text[j])) ++j;
+        push_tok(&st, std::string(text.substr(i, j - i)), i);
+        i = j;
+        continue;
+      }
+      if (c == '=' && (i + 1 >= end || text[i + 1] != '=') &&
+          (i == 0 || (text[i - 1] != '=' && text[i - 1] != '!' &&
+                      text[i - 1] != '<' && text[i - 1] != '>' &&
+                      text[i - 1] != '+' && text[i - 1] != '-' &&
+                      text[i - 1] != '*' && text[i - 1] != '/' &&
+                      text[i - 1] != '%' && text[i - 1] != '&' &&
+                      text[i - 1] != '|' && text[i - 1] != '^'))) {
+        push_tok(&st, "=", i);
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+    flush();
+  }
+
+ private:
+  void push_tok(Statement* st, std::string tok, std::size_t pos) {
+    st->tokens.push_back(std::move(tok));
+    st->lines.push_back(flat_.line[pos]);
+  }
+
+  bool at_line_start(std::size_t i) const {
+    std::size_t p = i;
+    while (p > 0 && (flat_.text[p - 1] == ' ' || flat_.text[p - 1] == '\t')) {
+      --p;
+    }
+    return p == 0 || flat_.text[p - 1] == '\n';
+  }
+
+  /// Past the end of a preprocessor directive, honoring `\` continuations.
+  std::size_t skip_directive(std::size_t i, std::size_t end) const {
+    std::string_view text = flat_.text;
+    while (i < end) {
+      const std::size_t nl = text.find('\n', i);
+      if (nl == std::string_view::npos || nl >= end) return end;
+      std::size_t p = nl;
+      while (p > i && (text[p - 1] == ' ' || text[p - 1] == '\t')) --p;
+      if (p == i || text[p - 1] != '\\') return nl + 1;
+      i = nl + 1;
+    }
+    return end;
+  }
+
+  const FlatView& flat_;
+  std::vector<Region>* regions_;
+};
+
+void check_t1(const FlatView& flat, const std::string& path,
+              std::vector<Diagnostic>* diags) {
+  std::vector<Region> regions;
+  std::vector<Statement> statements;
+  TopScanner scanner(flat, &regions);
+  scanner.scan(0, flat.text.size(), &statements);
+
+  for (const Statement& st : statements) {
+    std::string name;
+    int line = 0;
+    if (mutable_variable_decl(st, &name, &line)) {
+      diags->push_back(Diagnostic{
+          path, line, "T1",
+          "non-const global '" + name +
+              "': namespace-scope mutable state is shared by every shard; "
+              "make it const/constexpr or pass it explicitly"});
+    }
+  }
+
+  // Pass B: `static` (or thread_local) locals inside the elided regions.
+  std::string_view text = flat.text;
+  for (const Region& region : regions) {
+    std::size_t i = region.begin;
+    while (i < region.end) {
+      if (!is_ident_start(text[i]) ||
+          (i > 0 && is_ident_char(text[i - 1]))) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < region.end && is_ident_char(text[j])) ++j;
+      const std::string_view word = text.substr(i, j - i);
+      if (word != "static" && word != "thread_local") {
+        i = j;
+        continue;
+      }
+      // Condense the declaration from here to its `;`.
+      Statement st;
+      st.tokens.push_back(std::string(word));
+      st.lines.push_back(flat.line[i]);
+      std::size_t k = j;
+      bool terminated = false;
+      while (k < region.end) {
+        const char c = text[k];
+        if (c == ';') {
+          terminated = true;
+          break;
+        }
+        if (c == '(' || c == '[' || c == '{') {
+          const char close = c == '(' ? ')' : (c == '[' ? ']' : '}');
+          std::size_t past = match_forward(text, k, c, close);
+          if (past == std::string_view::npos || past > region.end) {
+            past = region.end;
+          }
+          st.tokens.push_back(std::string(1, c));
+          st.lines.push_back(flat.line[k]);
+          k = past;
+          continue;
+        }
+        if (is_ident_start(c) && !is_ident_char(text[k - 1])) {
+          std::size_t m = k;
+          while (m < region.end && is_ident_char(text[m])) ++m;
+          st.tokens.push_back(std::string(text.substr(k, m - k)));
+          st.lines.push_back(flat.line[k]);
+          k = m;
+          continue;
+        }
+        if (c == '=' && text[k + 1] != '=' && text[k - 1] != '=' &&
+            text[k - 1] != '!' && text[k - 1] != '<' &&
+            text[k - 1] != '>' && !is_compound_op_char(text[k - 1])) {
+          st.tokens.push_back("=");
+          st.lines.push_back(flat.line[k]);
+        }
+        ++k;
+      }
+      std::string name;
+      int line = 0;
+      if (terminated && mutable_variable_decl(st, &name, &line)) {
+        diags->push_back(Diagnostic{
+            path, st.lines.front(), "T1",
+            "mutable static '" + name +
+                "': a function-local static is shared by every shard; make "
+                "it const or hoist it into explicit state"});
+      }
+      i = k + 1;
+    }
+  }
+}
+
+// ---- T2: by-ref captures mutated in sharded bodies ----------------------
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kMethods = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace",
+      "erase",     "clear",        "resize",   "assign", "append",
+      "push",      "pop",          "reserve",  "store",  "write"};
+  return kMethods;
+}
+
+struct Lambda {
+  std::set<std::string> ref_captures;    ///< &name captures.
+  std::set<std::string> value_captures;  ///< name / name=... captures.
+  bool default_ref = false;              ///< [&] / [&, ...]
+  std::set<std::string> params;          ///< Parameter names (shard index).
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+/// Parse the lambda whose introducer `[` is at `pos`; false if `pos`
+/// doesn't start a lambda.
+bool parse_lambda(std::string_view text, std::size_t pos, Lambda* out) {
+  const std::size_t intro_past = match_forward(text, pos, '[', ']');
+  if (intro_past == std::string_view::npos) return false;
+  std::size_t i = skip_ws(text, intro_past);
+  std::size_t params_begin = 0;
+  std::size_t params_end = 0;
+  if (i < text.size() && text[i] == '(') {
+    const std::size_t past = match_forward(text, i, '(', ')');
+    if (past == std::string_view::npos) return false;
+    params_begin = i + 1;
+    params_end = past - 1;
+    i = skip_ws(text, past);
+  }
+  // Skip specifiers (mutable, noexcept, -> ret) up to the body brace.
+  while (i < text.size() && text[i] != '{' && text[i] != ';' &&
+         text[i] != ')' && text[i] != ',') {
+    if (text[i] == '(') {  // noexcept(...)
+      const std::size_t past = match_forward(text, i, '(', ')');
+      if (past == std::string_view::npos) return false;
+      i = past;
+    } else {
+      ++i;
+    }
+  }
+  if (i >= text.size() || text[i] != '{') return false;
+  const std::size_t body_past = match_forward(text, i, '{', '}');
+  if (body_past == std::string_view::npos) return false;
+  out->body_begin = i + 1;
+  out->body_end = body_past - 1;
+
+  // Capture list.
+  std::size_t c = pos + 1;
+  const std::size_t intro_end = intro_past - 1;
+  while (c < intro_end) {
+    std::size_t entry_end = c;
+    int depth = 0;
+    while (entry_end < intro_end &&
+           (text[entry_end] != ',' || depth > 0)) {
+      const char ch = text[entry_end];
+      if (ch == '(' || ch == '[' || ch == '{' || ch == '<') ++depth;
+      if (ch == ')' || ch == ']' || ch == '}' || ch == '>') --depth;
+      ++entry_end;
+    }
+    std::size_t b = skip_ws(text, c);
+    if (b < entry_end) {
+      const bool by_ref = text[b] == '&';
+      if (by_ref) b = skip_ws(text, b + 1);
+      std::string name;
+      while (b < entry_end && is_ident_char(text[b])) name += text[b++];
+      if (by_ref && name.empty()) {
+        out->default_ref = true;
+      } else if (!name.empty() && name != "this") {
+        (by_ref ? out->ref_captures : out->value_captures).insert(name);
+      }
+    }
+    c = entry_end + 1;
+  }
+
+  // Parameter names: the last identifier of each comma-separated
+  // declaration (skipping default-argument tails).
+  if (params_end > params_begin) {
+    std::size_t p = params_begin;
+    while (p < params_end) {
+      std::size_t q = p;
+      int depth = 0;
+      while (q < params_end && (text[q] != ',' || depth > 0)) {
+        const char ch = text[q];
+        if (ch == '(' || ch == '[' || ch == '{' || ch == '<') ++depth;
+        if (ch == ')' || ch == ']' || ch == '}' || ch == '>') --depth;
+        ++q;
+      }
+      std::size_t decl_end = q;
+      for (std::size_t e = p; e < q; ++e) {
+        if (text[e] == '=') {
+          decl_end = e;
+          break;
+        }
+      }
+      std::string name;
+      for (std::size_t e = p; e < decl_end; ++e) {
+        if (is_ident_start(text[e]) &&
+            (e == p || !is_ident_char(text[e - 1]))) {
+          std::size_t m = e;
+          name.clear();
+          while (m < decl_end && is_ident_char(text[m])) name += text[m++];
+        }
+      }
+      if (!name.empty()) out->params.insert(name);
+      p = q + 1;
+    }
+  }
+  return true;
+}
+
+/// True when the first occurrence of `name` in the body reads as its
+/// declaration (preceded by a type name, `auto`, `&`, `*`, or a structured
+/// binding / range-for introducer) — a body-local shadows the capture.
+bool locally_declared(std::string_view text, std::size_t body_begin,
+                      std::size_t body_end, const std::string& name) {
+  std::size_t i = body_begin;
+  while (i < body_end) {
+    i = text.find(name, i);
+    if (i == std::string_view::npos || i >= body_end) return false;
+    const bool boundary =
+        (i == 0 || !is_ident_char(text[i - 1])) &&
+        (i + name.size() >= text.size() ||
+         !is_ident_char(text[i + name.size()]));
+    if (!boundary) {
+      i += name.size();
+      continue;
+    }
+    std::size_t p = skip_ws_back(text, i);
+    if (p == 0) return false;
+    const char prev = text[p - 1];
+    if (prev == '&' || prev == '*' || prev == '>' || prev == ',' ||
+        prev == '[') {
+      // `Type& name`, `Type* name`, `vector<T> name`, `auto [a, name]`.
+      return true;
+    }
+    if (is_ident_char(prev)) {
+      std::size_t w = p;
+      while (w > 0 && is_ident_char(text[w - 1])) --w;
+      const std::string word(text.substr(w, p - w));
+      static const std::set<std::string> kNonTypes = {
+          "return", "if",     "while", "do",     "else",  "case",
+          "throw",  "delete", "new",   "sizeof", "co_return"};
+      return kNonTypes.count(word) == 0;
+    }
+    return false;
+  }
+  return false;
+}
+
+/// Mutation sites of the form `chain = ...`, `chain op= ...`, `++chain`,
+/// `chain++`, and `chain.mutating_method(...)`.
+struct Mutation {
+  std::size_t chain_end;  ///< One past the mutated chain.
+  std::size_t at;         ///< Position anchoring the diagnostic line.
+};
+
+std::vector<Mutation> find_mutations(std::string_view text,
+                                     std::size_t begin, std::size_t end) {
+  std::vector<Mutation> out;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c == '=') {
+      if (i + 1 < end && text[i + 1] == '=') {
+        ++i;
+        continue;
+      }
+      if (i > begin && (text[i - 1] == '=' || text[i - 1] == '!' ||
+                        text[i - 1] == '<' || text[i - 1] == '>')) {
+        continue;
+      }
+      std::size_t chain_end = i;
+      if (i > begin && is_compound_op_char(text[i - 1])) {
+        chain_end = i - 1;
+        if (chain_end > begin && (text[chain_end - 1] == '<' ||
+                                  text[chain_end - 1] == '>')) {
+          --chain_end;  // <<= and >>=
+        }
+      }
+      out.push_back(Mutation{chain_end, i});
+      continue;
+    }
+    if ((c == '+' || c == '-') && i + 1 < end && text[i + 1] == c) {
+      // Postfix: chain precedes.  Prefix: chain follows — record the spot
+      // after the operator and let the caller walk forward instead;
+      // simpler: postfix only here, prefix handled by scanning the
+      // operand after the ++/--.
+      const std::size_t before = skip_ws_back(text, i);
+      if (before > begin && (is_ident_char(text[before - 1]) ||
+                             text[before - 1] == ']' ||
+                             text[before - 1] == ')')) {
+        out.push_back(Mutation{before, i});
+      } else {
+        // Prefix ++x: take the chain that ends at the next non-chain
+        // char.  Find the operand end: identifiers/subscripts.
+        std::size_t j = skip_ws(text, i + 2);
+        std::size_t chain_end = j;
+        while (chain_end < end) {
+          if (is_ident_char(text[chain_end])) {
+            ++chain_end;
+            continue;
+          }
+          if (text[chain_end] == '[') {
+            const std::size_t past =
+                match_forward(text, chain_end, '[', ']');
+            if (past == std::string_view::npos || past > end) break;
+            chain_end = past;
+            continue;
+          }
+          if (text[chain_end] == '.' ||
+              (text[chain_end] == ':' && chain_end + 1 < end &&
+               text[chain_end + 1] == ':')) {
+            chain_end += text[chain_end] == '.' ? 1 : 2;
+            continue;
+          }
+          if (text[chain_end] == '-' && chain_end + 1 < end &&
+              text[chain_end + 1] == '>') {
+            chain_end += 2;
+            continue;
+          }
+          break;
+        }
+        if (chain_end > j) out.push_back(Mutation{chain_end, i});
+      }
+      ++i;
+      continue;
+    }
+    if ((c == '.' || (c == '-' && i + 1 < end && text[i + 1] == '>')) &&
+        i > begin) {
+      const std::size_t name_at = c == '.' ? i + 1 : i + 2;
+      if (name_at >= end || !is_ident_start(text[name_at])) continue;
+      std::size_t m = name_at;
+      while (m < end && is_ident_char(text[m])) ++m;
+      const std::string method(text.substr(name_at, m - name_at));
+      const std::size_t call = skip_ws(text, m);
+      if (call < end && text[call] == '(' &&
+          mutating_methods().count(method) != 0) {
+        out.push_back(Mutation{i, i});
+      }
+    }
+  }
+  return out;
+}
+
+void check_t2(const FileScan& scan, const FlatView& flat,
+              const std::string& path, std::vector<Diagnostic>* diags) {
+  const std::vector<TokenRef> tokens = qualified_identifiers(scan);
+  std::string_view text = flat.text;
+  std::set<std::pair<int, std::string>> reported;
+
+  for (const TokenRef& tok : tokens) {
+    const std::vector<std::string> segs = split_segments(tok.text);
+    if (segs.empty()) continue;
+    const std::string& last = segs.back();
+    if (last != "parallel_for" && last != "submit") continue;
+    const std::size_t open = text.find('(', flat.offset_of(tok));
+    if (open == std::string_view::npos) continue;
+    const std::size_t call_past = match_forward(text, open, '(', ')');
+    if (call_past == std::string_view::npos) continue;
+
+    for (std::size_t i = open + 1; i + 1 < call_past; ++i) {
+      if (text[i] != '[') continue;
+      Lambda lam;
+      if (!parse_lambda(text, i, &lam) || lam.body_end > call_past) {
+        continue;
+      }
+      if (!lam.default_ref && lam.ref_captures.empty()) {
+        i = lam.body_end;
+        continue;
+      }
+      for (const Mutation& mut :
+           find_mutations(text, lam.body_begin, lam.body_end)) {
+        const ChainBack chain =
+            walk_chain_back(text, mut.chain_end, lam.params);
+        if (chain.root.empty()) continue;
+        if (lam.params.count(chain.root) != 0) continue;
+        if (lam.value_captures.count(chain.root) != 0) continue;
+        const bool by_ref = lam.ref_captures.count(chain.root) != 0 ||
+                            lam.default_ref;
+        if (!by_ref) continue;
+        if (chain.indexed_by_name) continue;  // Per-shard slot.
+        if (chain.root == "this") continue;
+        if (locally_declared(text, lam.body_begin, lam.body_end,
+                             chain.root)) {
+          continue;
+        }
+        const int line = flat.line[mut.at];
+        if (!reported.insert({line, chain.root}).second) continue;
+        // The justification may sit atop a multi-line comment block.
+        if (comment_nearby(scan, line, 3, {"shlint:shard-safe"})) continue;
+        diags->push_back(Diagnostic{
+            path, line, "T2",
+            "by-reference capture '" + chain.root +
+                "' mutated inside a sharded body without per-shard "
+                "indexing; index it by the task parameter or justify with "
+                "// shlint:shard-safe"});
+      }
+      i = lam.body_end;
+    }
+  }
+}
+
+// ---- F1: raw multiply-add in kernel TUs ---------------------------------
+
+/// True when the `*` at `pos` is binary multiplication (an operand
+/// precedes it), not a dereference/pointer declarator.
+bool is_binary_star(std::string_view text, std::size_t pos) {
+  const std::size_t p = skip_ws_back(text, pos);
+  if (p == 0) return false;
+  const char c = text[p - 1];
+  return is_ident_char(c) || c == ')' || c == ']';
+}
+
+/// Walk one multiplicative term leftward from `end`; true when the term
+/// contains a binary `*`.
+bool mul_in_term_back(std::string_view text, std::size_t end) {
+  std::size_t i = end;
+  while (true) {
+    const ChainBack chain = walk_chain_back(text, i, {});
+    std::size_t p = skip_ws_back(text, chain.begin);
+    if (chain.begin == i && p > 0 && text[p - 1] == ')') {
+      // Parenthesized operand: step inside is unnecessary — treat the
+      // group as opaque; a mul *inside* parens is separately rounded.
+      const std::size_t open = match_backward(text, p - 1, '(', ')');
+      if (open == std::string_view::npos) return false;
+      p = skip_ws_back(text, open);
+      i = open;
+    } else if (chain.begin == i) {
+      return false;  // No operand (unary context).
+    } else {
+      i = chain.begin;
+      p = skip_ws_back(text, i);
+    }
+    if (p == 0) return false;
+    const char op = text[p - 1];
+    if (op == '*') {
+      if (is_binary_star(text, p - 1)) return true;
+      return false;
+    }
+    if (op == '/') {
+      i = p - 1;
+      continue;
+    }
+    return false;
+  }
+}
+
+/// Walk one multiplicative term rightward from `begin`; true when the
+/// term contains a binary `*`.
+bool mul_in_term_forward(std::string_view text, std::size_t begin,
+                         std::size_t end) {
+  std::size_t i = skip_ws(text, begin);
+  while (i < end && (text[i] == '-' || text[i] == '+')) {
+    i = skip_ws(text, i + 1);  // Unary sign.
+  }
+  while (i < end) {
+    // One primary.
+    if (is_ident_char(text[i])) {
+      while (i < end && is_ident_char(text[i])) ++i;
+      if (i + 1 < end && text[i] == ':' && text[i + 1] == ':') {
+        i += 2;
+        continue;
+      }
+    } else if (text[i] == '(') {
+      const std::size_t past = match_forward(text, i, '(', ')');
+      if (past == std::string_view::npos || past > end) return false;
+      i = past;
+    } else {
+      return false;
+    }
+    // Postfix.
+    while (i < end) {
+      if (text[i] == '(' || text[i] == '[') {
+        const std::size_t past = match_forward(
+            text, i, text[i], text[i] == '(' ? ')' : ']');
+        if (past == std::string_view::npos || past > end) return false;
+        i = past;
+      } else if (text[i] == '.') {
+        ++i;
+        break;
+      } else if (text[i] == '-' && i + 1 < end && text[i + 1] == '>') {
+        i += 2;
+        break;
+      } else {
+        break;
+      }
+    }
+    const std::size_t p = skip_ws(text, i);
+    if (p >= end) return false;
+    if (text[p] == '*') return true;
+    if (text[p] == '/') {
+      i = skip_ws(text, p + 1);
+      continue;
+    }
+    if (text[p] == '.' || is_ident_char(text[p])) {
+      i = p;
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+/// True when the char before `pos` (skipping ws) marks `pos` as a unary
+/// sign or part of a larger operator rather than binary add/sub.
+bool is_unary_context(std::string_view text, std::size_t pos) {
+  const std::size_t p = skip_ws_back(text, pos);
+  if (p == 0) return true;
+  const char c = text[p - 1];
+  if (is_ident_char(c) || c == ')' || c == ']') return false;
+  return true;
+}
+
+void check_f1(const FileScan& scan, const FlatView& flat,
+              const std::string& path, std::vector<Diagnostic>* diags) {
+  std::string_view text = flat.text;
+  static const std::vector<std::string_view> kEscapes = {
+      "fma", "fused", "unfused", "contract"};
+  std::set<int> reported;
+  int bracket_depth = 0;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '[') ++bracket_depth;
+    if (c == ']' && bracket_depth > 0) --bracket_depth;
+    if (c != '+' && c != '-') continue;
+    if (bracket_depth > 0) continue;  // Index arithmetic is integral.
+    // `x += a*b` / `x -= a*b` contract exactly like `x = x + a*b`.
+    if (i + 1 < text.size() && text[i + 1] == '=' &&
+        !is_unary_context(text, i) &&
+        mul_in_term_forward(text, i + 2, text.size())) {
+      const int line = flat.line[i];
+      if (reported.count(line) == 0 &&
+          !comment_nearby(scan, line, 3, kEscapes)) {
+        reported.insert(line);
+        diags->push_back(Diagnostic{
+            path, line, "F1",
+            "raw multiply-add in a detmath kernel TU; spell std::fma if "
+            "the fusion is intended, otherwise state the op is "
+            "deliberately unfused in a comment (the element-determinism "
+            "contract pins the per-element operation sequence)"});
+      }
+      ++i;
+      continue;
+    }
+    // Not ++/--/->/unary, not an exponent sign (1e-8, 0x1.8p-5).
+    if (i + 1 < text.size() &&
+        (text[i + 1] == c || text[i + 1] == '=' ||
+         (c == '-' && text[i + 1] == '>'))) {
+      ++i;
+      continue;
+    }
+    if (i > 0 && (text[i - 1] == c)) continue;
+    if (i > 0 && (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                  text[i - 1] == 'p' || text[i - 1] == 'P') &&
+        i > 1 &&
+        (std::isdigit(static_cast<unsigned char>(text[i - 2])) != 0 ||
+         text[i - 2] == '.' || text[i - 2] == 'x')) {
+      // 1.0e+5 / 0x1.8p-52: part of a literal only when the e/p belongs
+      // to a numeric token; `scope + 5` has an identifier there instead.
+      std::size_t w = i - 1;
+      while (w > 0 && (is_ident_char(text[w - 1]) || text[w - 1] == '.')) {
+        --w;
+      }
+      if (std::isdigit(static_cast<unsigned char>(text[w])) != 0) continue;
+    }
+    if (is_unary_context(text, i)) continue;
+    const bool mul_left = mul_in_term_back(text, i);
+    const bool mul_right =
+        !mul_left && mul_in_term_forward(text, i + 1, text.size());
+    if (!mul_left && !mul_right) continue;
+    const int line = flat.line[i];
+    if (reported.count(line) != 0) continue;
+    if (comment_nearby(scan, line, 3, kEscapes)) continue;
+    reported.insert(line);
+    diags->push_back(Diagnostic{
+        path, line, "F1",
+        "raw multiply-add in a detmath kernel TU; spell std::fma if the "
+        "fusion is intended, otherwise state the op is deliberately "
+        "unfused in a comment (the element-determinism contract pins the "
+        "per-element operation sequence)"});
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_semantics(const std::string& raw_path,
+                                        const FileScan& scan,
+                                        bool kernel_tu) {
+  const std::string path = normalize_path(raw_path);
+  const FlatView flat = flatten(scan);
+  std::vector<Diagnostic> diags;
+  check_t1(flat, path, &diags);
+  check_t2(scan, flat, path, &diags);
+  if (kernel_tu) check_f1(scan, flat, path, &diags);
+  return filter_allowed(scan, std::move(diags));
+}
+
+std::vector<Diagnostic> check_fp_contract_flags(
+    const std::vector<std::string>& kernel_tus,
+    std::string_view compile_commands) {
+  std::vector<Diagnostic> diags;
+  // Split the database into top-level objects with a string-aware brace
+  // walk (command strings contain braces and escaped quotes).
+  std::vector<std::pair<std::size_t, std::size_t>> objects;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t obj_begin = 0;
+  for (std::size_t i = 0; i < compile_commands.size(); ++i) {
+    const char c = compile_commands[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) obj_begin = i;
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) objects.emplace_back(obj_begin, i + 1);
+    }
+  }
+
+  for (const std::string& tu : kernel_tus) {
+    if (!ends_with(tu, ".cpp") && !ends_with(tu, ".cc") &&
+        !ends_with(tu, ".cxx")) {
+      continue;  // Headers have no database entry.
+    }
+    for (const auto& [begin, end] : objects) {
+      const std::string_view obj = compile_commands.substr(begin, end - begin);
+      // Extract the "file" value — matching anywhere in the object would
+      // trip over the command string ("... -o foo.cpp.o -c foo.cpp").
+      const std::size_t key = obj.find("\"file\"");
+      if (key == std::string_view::npos) continue;
+      std::size_t v = obj.find('"', obj.find(':', key + 6));
+      if (v == std::string_view::npos) continue;
+      std::size_t v_end = v + 1;
+      while (v_end < obj.size() && obj[v_end] != '"') {
+        if (obj[v_end] == '\\') ++v_end;
+        ++v_end;
+      }
+      const std::string_view file = obj.substr(v + 1, v_end - v - 1);
+      // Suffix match on a `/` boundary: database paths are absolute.
+      if (file != tu &&
+          !(file.size() > tu.size() && ends_with(file, tu) &&
+            file[file.size() - tu.size() - 1] == '/')) {
+        continue;
+      }
+      if (obj.find("-ffp-contract=off") == std::string_view::npos) {
+        diags.push_back(Diagnostic{
+            tu, 1, "F2",
+            "detmath kernel TU compiled without -ffp-contract=off (per "
+            "compile_commands.json); the contraction contract in "
+            "detmath_kernels.h requires it"});
+      }
+      break;
+    }
+  }
+  return diags;
+}
+
+}  // namespace sh::lint

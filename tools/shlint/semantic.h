@@ -1,0 +1,56 @@
+// Semantic rule families: thread-shard mutation (T) and FP-contract (F).
+//
+// T-rules guard the sharded-determinism contract.  Every parallel code
+// path in the repo follows one shape: a ThreadPool::parallel_for (or
+// submit) body that writes only to a slot indexed by its own task
+// parameter and draws randomness only from an index-derived seed.  Shared
+// mutable state — a non-const global, a function-local static, or a
+// by-reference capture written without per-shard indexing — breaks that
+// silently, and only shows up later as a 1-vs-8-thread golden diff.
+//
+//   T1  non-const namespace-scope variables and mutable function-local
+//       statics, anywhere
+//   T2  a by-reference lambda capture mutated inside a parallel_for/submit
+//       body, unless the write is indexed by the lambda's own parameter
+//       (the per-shard slot pattern) or the site carries a
+//       `// shlint:shard-safe` justification
+//
+// F-rules guard the detmath element-determinism contract (see
+// src/util/detmath_kernels.h): in the kernel TUs named by the layer
+// manifest, every fused multiply-add is spelled std::fma and everything
+// else must stay separately rounded, which only holds under
+// -ffp-contract=off.
+//
+//   F1  raw a*b+c (or a*b-c, or x += a*b) in a kernel TU without either a
+//       std::fma spelling or a nearby comment mentioning
+//       fma/fused/unfused/contract
+//   F2  a kernel TU whose compile_commands.json entry lacks
+//       -ffp-contract=off
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shlint/lexer.h"
+#include "shlint/rules.h"
+
+namespace sh::lint {
+
+/// T1 + T2 over one scanned file, and F1 when `kernel_tu` is set.  Allow
+/// annotations are already applied.
+std::vector<Diagnostic> check_semantics(const std::string& path,
+                                        const FileScan& scan,
+                                        bool kernel_tu);
+
+/// F2: every kernel TU found in `compile_commands` (JSON text of
+/// compile_commands.json) must carry -ffp-contract=off.  TUs absent from
+/// the database (headers, arch-gated backends on other hosts) are skipped.
+/// Returned diagnostics are unfiltered — the driver applies the allowlist;
+/// inline allows don't apply because the defect lives in the build system,
+/// not the flagged file.
+std::vector<Diagnostic> check_fp_contract_flags(
+    const std::vector<std::string>& kernel_tus,
+    std::string_view compile_commands);
+
+}  // namespace sh::lint

@@ -8,16 +8,34 @@
 // sources with a lightweight lexer (no libclang) and reports file:line
 // diagnostics with rule IDs.
 //
+// v2 adds the cross-file families: the include-graph layering contract
+// (L1-L3, against tools/shlint/layers.txt), thread-shard mutation rules
+// (T1-T2), and FP-contract rules for the detmath kernel TUs (F1-F2,
+// against compile_commands.json), plus SARIF output for CI code scanning
+// and --fix for the mechanical subset.
+//
 // Usage:
 //   shlint [options] PATH...
-//     PATH             file, or directory scanned recursively for
-//                      .h/.hpp/.cc/.cpp/.cxx (directories containing a
-//                      `.shlint-skip` marker are pruned — lint fixtures
-//                      with seeded violations live behind one)
-//   --allowlist FILE   file-scoped suppressions (default:
-//                      tools/shlint/allowlist.txt when it exists)
-//   --list-rules       print the rule table and exit
-//   --quiet            no summary line on stderr
+//     PATH                file, or directory scanned recursively for
+//                         .h/.hpp/.cc/.cpp/.cxx (directories containing a
+//                         `.shlint-skip` marker are pruned — lint fixtures
+//                         with seeded violations live behind one)
+//   --allowlist FILE      file-scoped suppressions (default:
+//                         tools/shlint/allowlist.txt when it exists)
+//   --layers FILE         layer manifest (default: tools/shlint/layers.txt
+//                         when it exists; without one, L1/L3 and the
+//                         F-rules are off and L2 still runs)
+//   --compile-commands F  compile database for F2 (default:
+//                         build/compile_commands.json, then
+//                         compile_commands.json, when either exists)
+//   --sarif OUT           also write a SARIF 2.1.0 log to OUT (atomically;
+//                         written even when clean)
+//   --fix                 insert missing #pragma once (D4) in place, then
+//                         re-lint
+//   --fix-allow RULE      append `// shlint:allow(RULE)` to every line
+//                         flagged by RULE, then re-lint (repeatable)
+//   --list-rules          print the rule table and exit
+//   --quiet               no summary line on stderr
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 #include <algorithm>
@@ -25,31 +43,45 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "shlint/allowlist.h"
+#include "shlint/include_graph.h"
 #include "shlint/lexer.h"
 #include "shlint/rules.h"
+#include "shlint/sarif.h"
+#include "shlint/semantic.h"
+#include "util/fsio.h"
 
 namespace fs = std::filesystem;
 
 namespace {
 
 constexpr const char* kDefaultAllowlist = "tools/shlint/allowlist.txt";
+constexpr const char* kDefaultLayers = "tools/shlint/layers.txt";
 constexpr const char* kSkipMarker = ".shlint-skip";
 
 struct Options {
   std::vector<std::string> paths;
   std::string allowlist_path;
+  std::string layers_path;
+  std::string compile_commands_path;
+  std::string sarif_path;
+  std::set<std::string> fix_allow;
+  bool fix = false;
   bool quiet = false;
 };
 
 [[noreturn]] void usage(int code) {
-  std::fprintf(stderr,
-               "usage: shlint [--allowlist FILE] [--list-rules] [--quiet] "
-               "PATH...\n");
+  std::fprintf(
+      stderr,
+      "usage: shlint [--allowlist FILE] [--layers FILE]\n"
+      "              [--compile-commands FILE] [--sarif OUT] [--fix]\n"
+      "              [--fix-allow RULE] [--list-rules] [--quiet] PATH...\n");
   std::exit(code);
 }
 
@@ -110,17 +142,191 @@ bool read_file(const std::string& path, std::string* out) {
   return true;
 }
 
+/// One fully loaded source file; scans stay alive for the cross-file pass.
+struct Source {
+  std::string path;  ///< Normalized (forward slashes).
+  std::string text;
+  sh::lint::FileScan scan;
+};
+
+/// True when `path` names one of the manifest's kernel TUs (exact match or
+/// a `/`-boundary suffix, so absolute paths match repo-relative entries).
+bool is_kernel_tu(const sh::lint::LayerManifest& manifest,
+                  const std::string& path) {
+  for (const std::string& tu : manifest.kernel_tus) {
+    if (path == tu) return true;
+    if (path.size() > tu.size() &&
+        path.compare(path.size() - tu.size(), tu.size(), tu) == 0 &&
+        path[path.size() - tu.size() - 1] == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Every rule family over every source, allowlist applied, globally
+/// sorted by (path, line, rule).
+std::vector<sh::lint::Diagnostic> run_all(
+    const std::vector<Source>& sources, const sh::lint::Allowlist& allowlist,
+    const sh::lint::LayerManifest& manifest,
+    const std::string& compile_commands) {
+  std::vector<sh::lint::Diagnostic> all;
+  for (const Source& src : sources) {
+    for (sh::lint::Diagnostic& d : sh::lint::check_file(src.path, src.scan)) {
+      all.push_back(std::move(d));
+    }
+    for (sh::lint::Diagnostic& d : sh::lint::check_semantics(
+             src.path, src.scan, is_kernel_tu(manifest, src.path))) {
+      all.push_back(std::move(d));
+    }
+  }
+
+  std::vector<sh::lint::ScannedFile> views;
+  views.reserve(sources.size());
+  for (const Source& src : sources) {
+    views.push_back(sh::lint::ScannedFile{src.path, &src.scan});
+  }
+  for (sh::lint::Diagnostic& d :
+       sh::lint::check_layering(manifest, views)) {
+    all.push_back(std::move(d));
+  }
+
+  if (!compile_commands.empty()) {
+    for (sh::lint::Diagnostic& d : sh::lint::check_fp_contract_flags(
+             manifest.kernel_tus, compile_commands)) {
+      all.push_back(std::move(d));
+    }
+  }
+
+  all.erase(std::remove_if(all.begin(), all.end(),
+                           [&](const sh::lint::Diagnostic& d) {
+                             return allowlist.covers(d);
+                           }),
+            all.end());
+  std::sort(all.begin(), all.end(),
+            [](const sh::lint::Diagnostic& a, const sh::lint::Diagnostic& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const sh::lint::Diagnostic& a,
+                           const sh::lint::Diagnostic& b) {
+                          return a.path == b.path && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            all.end());
+  return all;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      return lines;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i != 0) out += '\n';
+    out += lines[i];
+  }
+  return out;
+}
+
+/// Mechanical fixes: D4 `#pragma once` insertion (with --fix) and allow
+/// comments for the rules named by --fix-allow.  Returns how many files
+/// changed; changed files are rewritten atomically and rescanned.
+std::size_t apply_fixes(const Options& opt,
+                        const std::vector<sh::lint::Diagnostic>& diags,
+                        std::vector<Source>* sources, bool* io_ok) {
+  std::map<std::string, Source*> by_path;
+  for (Source& src : *sources) by_path[src.path] = &src;
+
+  std::set<std::string> changed;
+  for (const sh::lint::Diagnostic& d : diags) {
+    const auto it = by_path.find(d.path);
+    if (it == by_path.end()) continue;
+    Source* src = it->second;
+    std::vector<std::string> lines = split_lines(src->text);
+
+    if (opt.fix && d.rule == "D4") {
+      // Insert after the leading `//` banner, before the first other line.
+      std::size_t at = 0;
+      while (at < lines.size()) {
+        std::string_view line = lines[at];
+        const std::size_t ws = line.find_first_not_of(" \t");
+        if (ws == std::string_view::npos ||
+            line.substr(ws, 2) != "//") {
+          break;
+        }
+        ++at;
+      }
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                   "#pragma once");
+      src->text = join_lines(lines);
+      changed.insert(src->path);
+      continue;
+    }
+    if (opt.fix_allow.count(d.rule) != 0 && d.line >= 1 &&
+        static_cast<std::size_t>(d.line) <= lines.size()) {
+      std::string& line = lines[static_cast<std::size_t>(d.line - 1)];
+      const std::string marker = "shlint:allow(" + d.rule + ")";
+      if (line.find(marker) == std::string::npos) {
+        line += "  // " + marker;
+        src->text = join_lines(lines);
+        changed.insert(src->path);
+      }
+    }
+  }
+
+  for (const std::string& path : changed) {
+    Source* src = by_path.at(path);
+    if (!sh::util::atomic_write_file(path, src->text)) {
+      std::fprintf(stderr, "shlint: cannot write '%s'\n", path.c_str());
+      *io_ok = false;
+      continue;
+    }
+    src->scan = sh::lint::scan_source(src->text);
+  }
+  return changed.size();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
   bool explicit_allowlist = false;
+  bool explicit_layers = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--allowlist") {
+    auto value = [&]() -> std::string {
       if (i + 1 >= argc) usage(2);
-      opt.allowlist_path = argv[++i];
+      return argv[++i];
+    };
+    if (arg == "--allowlist") {
+      opt.allowlist_path = value();
       explicit_allowlist = true;
+    } else if (arg == "--layers") {
+      opt.layers_path = value();
+      explicit_layers = true;
+    } else if (arg == "--compile-commands") {
+      opt.compile_commands_path = value();
+    } else if (arg == "--sarif") {
+      opt.sarif_path = value();
+    } else if (arg == "--fix") {
+      opt.fix = true;
+    } else if (arg == "--fix-allow") {
+      opt.fix_allow.insert(value());
     } else if (arg == "--list-rules") {
       for (const sh::lint::RuleInfo& r : sh::lint::all_rules()) {
         std::printf("%s  %s\n", r.id.c_str(), r.summary.c_str());
@@ -161,30 +367,98 @@ int main(int argc, char** argv) {
     }
   }
 
+  sh::lint::LayerManifest manifest;
+  {
+    std::string layers_path = opt.layers_path;
+    if (!explicit_layers && fs::exists(kDefaultLayers)) {
+      layers_path = kDefaultLayers;
+    }
+    if (!layers_path.empty()) {
+      std::string text;
+      if (!read_file(layers_path, &text)) {
+        std::fprintf(stderr, "shlint: cannot read layer manifest '%s'\n",
+                     layers_path.c_str());
+        return 2;
+      }
+      std::vector<std::string> errors;
+      manifest = sh::lint::LayerManifest::parse(text, &errors);
+      for (const std::string& e : errors) {
+        std::fprintf(stderr, "shlint: %s: %s\n", layers_path.c_str(),
+                     e.c_str());
+      }
+      if (!errors.empty()) return 2;
+    }
+  }
+
+  std::string compile_commands;
+  if (!opt.compile_commands_path.empty()) {
+    if (!read_file(opt.compile_commands_path, &compile_commands)) {
+      std::fprintf(stderr, "shlint: cannot read compile database '%s'\n",
+                   opt.compile_commands_path.c_str());
+      return 2;
+    }
+  } else {
+    for (const char* candidate :
+         {"build/compile_commands.json", "compile_commands.json"}) {
+      if (fs::exists(candidate) && read_file(candidate, &compile_commands)) {
+        break;
+      }
+    }
+  }
+
   bool ok = true;
   const std::vector<std::string> files = collect_files(opt.paths, &ok);
   if (!ok) return 2;
 
-  std::size_t violations = 0;
+  std::vector<Source> sources;
+  sources.reserve(files.size());
   for (const std::string& file : files) {
-    std::string text;
-    if (!read_file(file, &text)) {
+    Source src;
+    src.path = sh::lint::normalize_path(file);
+    if (!read_file(file, &src.text)) {
       std::fprintf(stderr, "shlint: cannot read '%s'\n", file.c_str());
       return 2;
     }
-    const sh::lint::FileScan scan = sh::lint::scan_source(text);
-    for (const sh::lint::Diagnostic& d :
-         sh::lint::check_file(file, scan)) {
-      if (allowlist.covers(d)) continue;
-      std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line,
-                  d.rule.c_str(), d.message.c_str());
-      ++violations;
+    src.scan = sh::lint::scan_source(src.text);
+    sources.push_back(std::move(src));
+  }
+
+  std::vector<sh::lint::Diagnostic> diags =
+      run_all(sources, allowlist, manifest, compile_commands);
+
+  std::size_t fixed = 0;
+  if (opt.fix || !opt.fix_allow.empty()) {
+    bool io_ok = true;
+    fixed = apply_fixes(opt, diags, &sources, &io_ok);
+    if (!io_ok) return 2;
+    if (fixed != 0) {
+      diags = run_all(sources, allowlist, manifest, compile_commands);
+    }
+  }
+
+  for (const sh::lint::Diagnostic& d : diags) {
+    std::printf("%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+
+  if (!opt.sarif_path.empty()) {
+    if (!sh::util::atomic_write_file(opt.sarif_path,
+                                     sh::lint::sarif_report(diags))) {
+      std::fprintf(stderr, "shlint: cannot write SARIF log '%s'\n",
+                   opt.sarif_path.c_str());
+      return 2;
     }
   }
 
   if (!opt.quiet) {
-    std::fprintf(stderr, "shlint: scanned %zu files, %zu violation(s)\n",
-                 files.size(), violations);
+    if (fixed != 0) {
+      std::fprintf(stderr,
+                   "shlint: scanned %zu files, fixed %zu, %zu violation(s)\n",
+                   sources.size(), fixed, diags.size());
+    } else {
+      std::fprintf(stderr, "shlint: scanned %zu files, %zu violation(s)\n",
+                   sources.size(), diags.size());
+    }
   }
-  return violations == 0 ? 0 : 1;
+  return diags.empty() ? 0 : 1;
 }
