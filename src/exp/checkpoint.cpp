@@ -5,6 +5,7 @@
 
 #include <array>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -43,7 +44,10 @@ std::string encode_header(const CheckpointHeader& h) {
   out.reserve(kHeaderSize);
   put_bytes(out, kMagic, sizeof kMagic);
   put<std::uint32_t>(out, h.version);
-  put<std::uint32_t>(out, 0);  // reserved
+  // The word reserved (always zero) before sharding existed now carries the
+  // shard tag; count 0 keeps meaning "unsharded", so the format stays v1.
+  put<std::uint16_t>(out, h.shard_index);
+  put<std::uint16_t>(out, h.shard_count);
   put<std::uint64_t>(out, h.config_hash);
   put<std::uint64_t>(out, h.base_seed);
   put<std::uint64_t>(out, h.total_runs);
@@ -169,9 +173,9 @@ CheckpointLoad load_checkpoint(const std::string& path) {
     return out;
   }
   std::size_t off = sizeof kMagic;
-  std::uint32_t reserved = 0;
   get(buf, off, out.header.version);
-  get(buf, off, reserved);
+  get(buf, off, out.header.shard_index);
+  get(buf, off, out.header.shard_count);
   get(buf, off, out.header.config_hash);
   get(buf, off, out.header.base_seed);
   get(buf, off, out.header.total_runs);
@@ -208,6 +212,41 @@ CheckpointLoad load_checkpoint(const std::string& path) {
   }
   out.dropped_bytes = buf.size() - out.valid_bytes;
   if (!out.truncated) out.dropped_bytes = 0;
+  if (out.truncated) {
+    // Diagnostic rescan: walk the dropped region frame-by-frame and count
+    // the whole, CRC-valid records in it. They stay dropped — framing past
+    // a corrupt record is untrusted — but "~N frame(s)" tells the operator
+    // how much completed work a resume or merge is about to re-run.
+    std::size_t scan = out.valid_bytes;
+    while (scan < buf.size()) {
+      std::uint32_t len = 0;
+      std::uint32_t crc = 0;
+      std::size_t p = scan;
+      if (!get(buf, p, len) || !get(buf, p, crc) || len > kMaxPayload ||
+          buf.size() - p < len) {
+        break;
+      }
+      const std::string payload = buf.substr(p, len);
+      RunRecord rec;
+      if (crc32(payload.data(), payload.size()) != crc ||
+          !decode_payload(payload, out.header.total_runs, rec)) {
+        // Skip one frame-shaped blob and keep scanning: a single bit flip
+        // should not hide every intact record behind it.
+        scan = p + len;
+        continue;
+      }
+      ++out.dropped_frames;
+      scan = p + len;
+    }
+    std::fprintf(stderr,
+                 "[sh.ckpt: %s: dropped %llu trailing byte(s) (%llu intact "
+                 "frame(s) among them) after a torn or corrupt record at "
+                 "offset %llu; those repetitions will re-run]\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(out.dropped_bytes),
+                 static_cast<unsigned long long>(out.dropped_frames),
+                 static_cast<unsigned long long>(out.valid_bytes));
+  }
   return out;
 }
 

@@ -55,6 +55,14 @@ struct CheckpointHeader {
   std::uint64_t config_hash = 0;
   std::uint64_t base_seed = 0;
   std::uint64_t total_runs = 0;
+  /// Distributed-sweep shard tag, packed into the header word that was
+  /// reserved (and written as zero) before sharding existed: shard_count 0
+  /// means an unsharded journal — old journals load as unsharded, old
+  /// loaders ignore the tag. A `--shard K/N` worker records K/N here;
+  /// `total_runs` stays the FULL grid size (the run-index domain), the
+  /// shard owns only indices with run_index % shard_count == shard_index.
+  std::uint16_t shard_index = 0;
+  std::uint16_t shard_count = 0;
 };
 
 /// Result of reading a journal back. `ok` covers the header only; a file
@@ -68,8 +76,17 @@ struct CheckpointLoad {
   bool truncated = false;     ///< A torn/corrupt tail was detected and dropped.
   std::uint64_t valid_bytes = 0;    ///< Prefix length covering header+records.
   std::uint64_t dropped_bytes = 0;  ///< Bytes past the verified prefix.
+  /// Whole, CRC-valid frames found past the first corrupt record during a
+  /// diagnostic rescan. They are still dropped (framing past a corrupt
+  /// record is untrusted), but the count makes a resume or merge that
+  /// re-runs that work explainable instead of silent.
+  std::uint64_t dropped_frames = 0;
 };
 
+/// Loads and verifies a journal. When a torn or corrupt tail is dropped the
+/// loader says so on stderr — one line naming the path, the byte/frame
+/// counts, and the offset — so every caller (resume, merge, tests) surfaces
+/// re-run work to the operator without having to remember to report it.
 CheckpointLoad load_checkpoint(const std::string& path);
 
 /// Append-side of the journal. Thread-safe: the engine calls `append` from

@@ -39,6 +39,20 @@ void SweepResult::write_json(std::ostream& os) const {
   w.member("name", std::string_view(name));
   w.member("base_seed", base_seed);
   w.member("total_runs", total_runs);
+  // Emitted only for a degraded distributed merge, so complete output —
+  // single-host or merged — stays byte-identical to pre-distributed builds.
+  if (!incomplete_shards.empty()) {
+    w.key("incomplete_shards");
+    w.begin_array();
+    for (const auto& inc : incomplete_shards) {
+      w.begin_object();
+      w.member("shard", static_cast<std::int64_t>(inc.shard));
+      w.member("of", static_cast<std::int64_t>(inc.of));
+      w.member("missing_runs", inc.missing_runs);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("points");
   w.begin_array();
   for (const auto& pr : points) {
@@ -122,12 +136,23 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn,
     }
   }
 
+  // Shard ownership: run i belongs to this process iff i % N == K. The
+  // modulo partition interleaves points across shards, so every shard
+  // touches every point and a dead shard thins all points evenly instead of
+  // silently zeroing a contiguous block of the grid.
+  const int shard_count = opts.shard_count < 1 ? 1 : opts.shard_count;
+  const auto owned = [&](std::size_t i) {
+    return shard_count <= 1 ||
+           static_cast<int>(i % static_cast<std::size_t>(shard_count)) ==
+               opts.shard_index;
+  };
+
   const PointSupervisor supervisor(opts.supervisor);
   // Wall-clock timing feeds only the stderr progress summary
   // (wall_seconds); it never reaches metrics or JSON. shlint:allow(D1)
   const auto t0 = std::chrono::steady_clock::now();
   pool_.parallel_for(total, [&](std::size_t i) {
-    if (replayed[i] != 0) return;
+    if (replayed[i] != 0 || opts.replay_only || !owned(i)) return;
     // Locate the point owning run i (points are few; linear scan is cheap
     // relative to one repetition).
     std::size_t p = points.size() - 1;
@@ -162,6 +187,9 @@ SweepResult SweepRunner::run(std::vector<SweepPoint> points, const RunFn& fn,
     const auto reps = static_cast<std::uint64_t>(pr.point.repetitions);
     for (std::uint64_t r = 0; r < reps; ++r) {
       const std::uint64_t i = first_run[p] + r;
+      // A merge aggregates exactly the replayed records (gaps stay gaps); a
+      // shard aggregates exactly its owned indices (the partial output).
+      if (opts.replay_only ? replayed[i] == 0 : !owned(i)) continue;
       pr.metrics.add(samples[i]);
       switch (statuses[i]) {
         case RunStatus::kOk: ++pr.statuses.ok; break;

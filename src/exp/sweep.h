@@ -146,10 +146,24 @@ struct PointResult {
   StatusCounts statuses;   ///< All `ok` unless supervision was active.
 };
 
+/// One shard of a distributed sweep that did not reach full coverage (its
+/// worker exhausted retries). Carried in the merged result so a degraded
+/// merge is explicit — the JSON names the hole instead of silently shipping
+/// a thinner sample count.
+struct IncompleteShard {
+  int shard = 0;                    ///< Shard index K.
+  int of = 1;                       ///< Shard count N.
+  std::uint64_t missing_runs = 0;   ///< Owned run indices with no record.
+};
+
 struct SweepResult {
   std::string name;
   std::uint64_t base_seed = 0;
   std::uint64_t total_runs = 0;
+  /// Non-empty only for a degraded distributed merge; gates the JSON
+  /// "incomplete_shards" member, so complete merges stay byte-identical to
+  /// single-host output.
+  std::vector<IncompleteShard> incomplete_shards;
   /// True when a supervisor was active; gates the per-point "run_status"
   /// JSON member so unsupervised output stays byte-identical to builds
   /// that predate supervision.
@@ -188,6 +202,20 @@ struct RunOptions {
   /// never called — making a resumed sweep byte-identical to an
   /// uninterrupted one. Not owned.
   const std::vector<RunRecord>* resume = nullptr;
+  /// Distributed shard filter: of `shard_count` cooperating processes this
+  /// one owns run indices with run_index % shard_count == shard_index.
+  /// Seeds are already independent per run index, so a shard's records are
+  /// bit-identical to the same indices of a single-host run. Non-owned
+  /// indices neither execute nor aggregate — the partial result covers
+  /// exactly the owned runs. shard_count <= 1 disables filtering.
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Merge mode: every aggregated run must come from a `resume` record;
+  /// indices with no record are skipped (never executed, never aggregated)
+  /// instead of re-run. With full coverage the result is byte-identical to
+  /// a normal run; gaps surface as reduced per-point counts plus the
+  /// caller-filled SweepResult::incomplete_shards manifest.
+  bool replay_only = false;
 };
 
 /// Sum of repetitions over `points` (repetitions clamped to >= 1), i.e. the

@@ -86,9 +86,13 @@ struct Options {
 
 Options parse(int argc, char** argv) {
   Options o;
+  // No shbench flag is meaningfully repeatable; a duplicate is always an
+  // operator mistake (usually a mangled shell history) and exits 2.
+  cli::FlagTracker tracker(kTool);
   for (int i = 1; i < argc; ++i) {
     const auto arg = [&](const char* flag) {
       if (std::strcmp(argv[i], flag) != 0) return static_cast<const char*>(nullptr);
+      tracker.note(flag);
       if (i + 1 >= argc) {
         cli::fail(kTool, std::string(flag) + ": missing value");
       }
@@ -106,6 +110,7 @@ Options parse(int argc, char** argv) {
     } else if ((v = arg("--out")) != nullptr) {
       o.out_path = v;
     } else if (std::strcmp(argv[i], "--check") == 0) {
+      tracker.note("--check");
       if (i + 2 >= argc) {
         cli::fail(kTool, "--check: expected two arguments (BASE CUR)");
       }
@@ -114,8 +119,10 @@ Options parse(int argc, char** argv) {
     } else if ((v = arg("--check-hard")) != nullptr) {
       o.check_hard = v;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      tracker.note("--smoke");
       o.smoke = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
+      tracker.note("--list");
       o.list = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], 0);
